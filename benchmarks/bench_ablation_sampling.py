@@ -1,0 +1,24 @@
+"""Ablation — sample allocation ∝ π_i(k) vs ∝ π_i(k)² (Lemma 3)."""
+
+import pytest
+
+from repro.experiments.ablation import ablation_sampling_allocation
+from repro.experiments.reporting import format_rows
+
+from _bench_config import emit
+
+
+def test_ablation_sampling_allocation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablation_sampling_allocation("GQ", epsilon=1e-2, sample_cap=60_000,
+                                             num_queries=2, seed=11),
+        rounds=1, iterations=1)
+    emit("Ablation: sample allocation (Lemma 3)", format_rows(rows))
+
+    by_label = {row["allocation"]: row for row in rows}
+    assert set(by_label) == {"proportional", "squared"}
+    # Both allocations keep the error within the configured ε.
+    assert all(row["max_error"] <= 1e-2 for row in rows)
+    # The squared allocation concentrates the same cap on fewer nodes, so its
+    # error should not be worse by more than noise (Lemma 3's variance bound).
+    assert by_label["squared"]["max_error"] <= by_label["proportional"]["max_error"] * 3 + 1e-4

@@ -1,0 +1,23 @@
+"""Ablation — dense vs sparse linearization (Lemma 2): memory vs error."""
+
+import pytest
+
+from repro.experiments.ablation import ablation_sparse_linearization
+from repro.experiments.reporting import format_rows
+
+from _bench_config import emit
+
+
+def test_ablation_sparse_linearization(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablation_sparse_linearization("GQ", epsilon=1e-2, sample_cap=60_000,
+                                              num_queries=2, seed=17),
+        rounds=1, iterations=1)
+    emit("Ablation: sparse linearization (Lemma 2)", format_rows(rows))
+
+    by_label = {row["linearization"]: row for row in rows}
+    assert set(by_label) == {"dense", "sparse"}
+    # Lemma 2: truncation keeps the total error within ε ...
+    assert all(row["max_error"] <= 1e-2 for row in rows)
+    # ... while strictly reducing the memory held for the hop-PPR vectors.
+    assert by_label["sparse"]["extra_memory_bytes"] < by_label["dense"]["extra_memory_bytes"]

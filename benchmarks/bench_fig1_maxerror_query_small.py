@@ -1,0 +1,41 @@
+"""Figure 1 — MaxError vs query time on small graphs.
+
+Paper shape: ExactSim is the only method whose error keeps dropping to the
+exactness regime; ParSim's error plateaus (biased diagonal); MC needs far
+more time for comparable error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig_error_vs_query_time
+from repro.experiments.reporting import format_series_table
+
+from _bench_config import SMALL_DATASETS, SMALL_GRIDS, SMALL_SETTINGS, emit
+
+
+@pytest.mark.parametrize("dataset", SMALL_DATASETS)
+def test_fig1_maxerror_vs_query_time(benchmark, dataset):
+    series = benchmark.pedantic(
+        lambda: fig_error_vs_query_time(dataset, settings=SMALL_SETTINGS, grids=SMALL_GRIDS),
+        rounds=1, iterations=1)
+    emit(f"Figure 1 ({dataset}): MaxError vs query time", format_series_table(series))
+
+    by_name = {entry.algorithm: entry for entry in series}
+    assert set(by_name) == {"exactsim", "mc", "parsim", "linearization", "prsim"}
+
+    def best_error(name):
+        errors = [p.max_error for p in by_name[name].points
+                  if not p.skipped and not np.isnan(p.max_error)]
+        return min(errors) if errors else np.inf
+
+    # ExactSim reaches the lowest error of all methods (the paper's headline).
+    exact_best = best_error("exactsim")
+    assert exact_best <= min(best_error(name) for name in by_name if name != "exactsim") + 1e-9
+    # ParSim plateaus above ExactSim's finest error (first-meeting bias).
+    assert best_error("parsim") > exact_best
+    # Every method's error decreases (weakly) along its own sweep.
+    for entry in series:
+        errors = [p.max_error for p in entry.points if not p.skipped]
+        if len(errors) >= 2:
+            assert errors[-1] <= errors[0] * 1.5 + 1e-6

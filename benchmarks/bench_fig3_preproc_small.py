@@ -1,0 +1,37 @@
+"""Figure 3 — MaxError vs preprocessing time on small graphs (index-based methods).
+
+Paper shape: given a fixed preprocessing budget PRSim generally achieves the
+smallest error; MC needs the largest index-building time for comparable
+error; Linearization's preprocessing grows quickly as its D-estimation sample
+count rises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig_error_vs_preprocessing
+from repro.experiments.reporting import format_series_table
+
+from _bench_config import SMALL_DATASETS, SMALL_GRIDS, SMALL_SETTINGS, emit
+
+
+@pytest.mark.parametrize("dataset", SMALL_DATASETS[:1])
+def test_fig3_error_vs_preprocessing(benchmark, dataset):
+    series = benchmark.pedantic(
+        lambda: fig_error_vs_preprocessing(dataset, settings=SMALL_SETTINGS,
+                                           grids=SMALL_GRIDS),
+        rounds=1, iterations=1)
+    emit(f"Figure 3 ({dataset}): MaxError vs preprocessing time",
+         format_series_table(series))
+
+    by_name = {entry.algorithm: entry for entry in series}
+    assert set(by_name) == {"mc", "prsim", "linearization"}
+    for entry in series:
+        live_points = [p for p in entry.points if not p.skipped]
+        assert live_points, f"{entry.algorithm} produced no live points"
+        # Index-based methods must report a non-trivial preprocessing phase.
+        assert all(p.preprocessing_seconds > 0 for p in live_points)
+        # Preprocessing time grows (weakly) along each method's accuracy sweep.
+        times = [p.preprocessing_seconds for p in live_points]
+        if len(times) >= 2:
+            assert times[-1] >= times[0] * 0.5

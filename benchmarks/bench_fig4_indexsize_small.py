@@ -1,0 +1,40 @@
+"""Figure 4 — MaxError vs index size on small graphs (index-based methods).
+
+Paper shape: Linearization's index is a single diagonal vector, so its points
+form a vertical line; MC's walk index grows linearly with the number of
+stored walks; PRSim sits in between.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig_error_vs_index_size
+from repro.experiments.reporting import format_series_table
+
+from _bench_config import SMALL_DATASETS, SMALL_GRIDS, SMALL_SETTINGS, emit
+
+
+@pytest.mark.parametrize("dataset", SMALL_DATASETS[:1])
+def test_fig4_error_vs_index_size(benchmark, dataset):
+    series = benchmark.pedantic(
+        lambda: fig_error_vs_index_size(dataset, settings=SMALL_SETTINGS, grids=SMALL_GRIDS),
+        rounds=1, iterations=1)
+    emit(f"Figure 4 ({dataset}): MaxError vs index size", format_series_table(series))
+
+    by_name = {entry.algorithm: entry for entry in series}
+    assert set(by_name) == {"mc", "prsim", "linearization"}
+
+    # Linearization stores only the diagonal: identical index size at every
+    # sweep point (the vertical line in the paper's plot).
+    linearization_sizes = {p.index_bytes for p in by_name["linearization"].points
+                           if not p.skipped}
+    assert len(linearization_sizes) == 1
+
+    # MC's index grows with the number of stored walks.
+    mc_sizes = [p.index_bytes for p in by_name["mc"].points if not p.skipped]
+    if len(mc_sizes) >= 2:
+        assert mc_sizes[-1] > mc_sizes[0]
+
+    # Every live point reports a positive index size.
+    for entry in series:
+        assert all(p.index_bytes > 0 for p in entry.points if not p.skipped)

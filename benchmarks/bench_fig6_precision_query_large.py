@@ -1,0 +1,37 @@
+"""Figure 6 — Precision@k vs query time on large graphs.
+
+Paper shape: ExactSim converges to precision 1 (its top-k stabilises well
+before the finest ε); the looser baselines rank the large graph's top-k less
+reliably within the budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig_precision_vs_query_time
+from repro.experiments.reporting import format_series_table
+
+from _bench_config import LARGE_DATASETS, LARGE_GRIDS, LARGE_METHODS, LARGE_SETTINGS, emit
+
+
+@pytest.mark.parametrize("dataset", LARGE_DATASETS)
+def test_fig6_precision_vs_query_time_large(benchmark, dataset):
+    series = benchmark.pedantic(
+        lambda: fig_precision_vs_query_time(dataset, methods=LARGE_METHODS,
+                                            settings=LARGE_SETTINGS, grids=LARGE_GRIDS),
+        rounds=1, iterations=1)
+    emit(f"Figure 6 ({dataset}): Precision@{LARGE_SETTINGS.top_k} vs query time (large)",
+         format_series_table(series))
+
+    by_name = {entry.algorithm: entry for entry in series}
+
+    def best_precision(name):
+        values = [p.precision_at_k for p in by_name[name].points
+                  if not p.skipped and not np.isnan(p.precision_at_k)]
+        return max(values) if values else 0.0
+
+    # ExactSim's top-k agrees almost perfectly with the finest-ε ground truth.
+    assert best_precision("exactsim") >= 0.9
+    # ExactSim is at least as precise as every baseline.
+    assert best_precision("exactsim") >= max(
+        best_precision(name) for name in by_name if name != "exactsim") - 1e-9

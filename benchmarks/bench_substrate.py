@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the substrates ExactSim is built on.
+
+Unlike the figure benches (one-shot regenerations), these use pytest-benchmark
+properly — repeated timed rounds — because they measure steady-state kernel
+throughput: √c-walk simulation, hop-PPR propagation, the transition mat-vec
+and the PowerMethod iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import simrank_matrix
+from repro.graph.datasets import load_dataset
+from repro.graph.transition import TransitionOperator
+from repro.ppr.hop_ppr import hop_ppr_vectors
+from repro.randomwalk.engine import SqrtCWalkEngine
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return load_dataset("GQ")
+
+
+@pytest.fixture(scope="module")
+def large_graph():
+    return load_dataset("DB")
+
+
+def test_walk_engine_throughput_small(benchmark, small_graph):
+    engine = SqrtCWalkEngine(small_graph, 0.6, seed=1)
+    source = int(np.argmax(small_graph.in_degrees))
+    benchmark(engine.pair_walks_meet, source, 5_000, max_steps=32)
+
+
+def test_walk_engine_throughput_large(benchmark, large_graph):
+    engine = SqrtCWalkEngine(large_graph, 0.6, seed=1)
+    source = int(np.argmax(large_graph.in_degrees))
+    benchmark(engine.pair_walks_meet, source, 5_000, max_steps=32)
+
+
+def test_hop_ppr_small(benchmark, small_graph):
+    operator = TransitionOperator(small_graph, 0.6)
+    benchmark(hop_ppr_vectors, small_graph, 0, 20, decay=0.6, operator=operator)
+
+
+def test_hop_ppr_large(benchmark, large_graph):
+    operator = TransitionOperator(large_graph, 0.6)
+    benchmark(hop_ppr_vectors, large_graph, 0, 20, decay=0.6, operator=operator)
+
+
+def test_transition_matvec_large(benchmark, large_graph):
+    operator = TransitionOperator(large_graph, 0.6)
+    vector = np.random.default_rng(0).random(large_graph.num_nodes)
+    operator.matrix  # build outside the timed region
+    benchmark(operator.decayed_backward, vector)
+
+
+def test_power_method_small_graph(benchmark):
+    graph = load_dataset("GQ")
+    result = benchmark.pedantic(simrank_matrix, args=(graph,),
+                                kwargs={"decay": 0.6, "tolerance": 1e-8},
+                                rounds=1, iterations=1)
+    assert np.allclose(np.diag(result), 1.0)

@@ -1,0 +1,20 @@
+"""Table 2 — dataset statistics (paper sizes and synthetic stand-in sizes)."""
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import table_dataset_statistics
+
+from _bench_config import emit
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table_dataset_statistics(include_generated_sizes=False),
+        rounds=1, iterations=1)
+    emit("Table 2: datasets", format_rows(rows))
+    assert len(rows) == 8
+    small = [row for row in rows if row["scale"] == "small"]
+    large = [row for row in rows if row["scale"] == "large"]
+    assert len(small) == 4 and len(large) == 4
+    # Shape check: every large dataset is orders of magnitude bigger than the
+    # small ones in the paper's reported sizes.
+    assert min(row["paper_m"] for row in large) > max(row["paper_m"] for row in small)

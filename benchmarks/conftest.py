@@ -1,0 +1,11 @@
+"""Pytest configuration for the benchmark suite.
+
+The shared constants and helpers live in ``_bench_config`` (imported by each
+bench module); this conftest only ensures the benchmarks directory is
+importable regardless of how pytest was invoked.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

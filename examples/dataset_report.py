@@ -1,0 +1,48 @@
+"""Dataset report: Table 2 plus substrate statistics for every registered dataset.
+
+Prints the paper's reported sizes next to this reproduction's synthetic
+stand-ins, together with the structural statistics that drive the algorithms'
+behaviour (in-degree distribution tail, PageRank norm ‖π‖² — the quantity that
+Lemma 3's π²-sampling exploits).
+
+Run with:  python examples/dataset_report.py [--large]
+           (without --large only the four small datasets are generated)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments.reporting import format_rows
+from repro.graph.datasets import dataset_names, get_spec, load_dataset
+from repro.ppr.pagerank import pagerank
+
+
+def main(include_large: bool = False) -> None:
+    keys = dataset_names("small") + (dataset_names("large") if include_large else [])
+    rows = []
+    for key in keys:
+        spec = get_spec(key)
+        graph = load_dataset(key)
+        rank = pagerank(graph)
+        degrees = graph.in_degrees
+        rows.append({
+            "dataset": key,
+            "paper_name": spec.paper_name,
+            "type": spec.kind,
+            "paper_n": spec.paper_nodes,
+            "paper_m": spec.paper_edges,
+            "repro_n": graph.num_nodes,
+            "repro_m": graph.num_edges,
+            "max_in_degree": int(degrees.max()),
+            "mean_in_degree": float(degrees.mean()),
+            "pagerank_sq_norm": float(np.dot(rank, rank)),
+        })
+    print(format_rows(rows))
+    print("\npagerank_sq_norm = ||pi||^2: the smaller it is, the bigger the saving of"
+          "\nthe pi^2-sampling optimization (Lemma 3) - scale-free graphs keep it well"
+          "\nbelow 1, which is why ExactSim's optimized variant shines on them.")
+
+
+if __name__ == "__main__":
+    main(include_large="--large" in sys.argv[1:])

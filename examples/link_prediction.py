@@ -1,0 +1,79 @@
+"""Link prediction with SimRank: an application from the paper's introduction.
+
+SimRank scores are widely used as features for link prediction [23 in the
+paper].  This example plants a two-community graph, hides a fraction of its
+edges, and checks that ExactSim's similarity ranks the hidden (true) endpoints
+above random non-edges — and that it respects the community structure.
+
+Run with:  python examples/link_prediction.py
+"""
+
+import numpy as np
+
+from repro import ExactSim, ExactSimConfig
+from repro.graph import two_community_graph
+from repro.graph.digraph import DiGraph
+
+DECAY = 0.6
+COMMUNITY_SIZE = 150
+HIDDEN_EDGES = 40
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    full_graph = two_community_graph(COMMUNITY_SIZE, p_in=0.08, p_out=0.005, seed=21)
+    print(f"planted graph: {full_graph.num_nodes} nodes, {full_graph.num_edges} edges")
+
+    # Hide a sample of undirected edges (drop both directions).
+    edges = [(int(s), int(t)) for s, t in full_graph.edge_array() if s < t]
+    hidden_indices = rng.choice(len(edges), size=HIDDEN_EDGES, replace=False)
+    hidden = {edges[i] for i in hidden_indices}
+    remaining = [edge for edge in edges if edge not in hidden]
+    observed_graph = DiGraph.from_edges(remaining, num_nodes=full_graph.num_nodes,
+                                        directed=False, name="observed")
+    print(f"observed graph after hiding {HIDDEN_EDGES} edges: "
+          f"{observed_graph.num_edges} directed edges")
+
+    # Score hidden pairs and an equal number of random non-edges, using the
+    # single-source results of each hidden pair's left endpoint.
+    engine = ExactSim(observed_graph, ExactSimConfig(epsilon=1e-3, decay=DECAY, seed=5,
+                                                     max_total_samples=80_000))
+    cache = {}
+
+    def similarity(u: int, v: int) -> float:
+        if u not in cache:
+            cache[u] = engine.single_source(u).scores
+        return float(cache[u][v])
+
+    labels = np.repeat([0, 1], COMMUNITY_SIZE)
+    non_edges = []
+    while len(non_edges) < HIDDEN_EDGES:
+        u, v = int(rng.integers(full_graph.num_nodes)), int(rng.integers(full_graph.num_nodes))
+        if u != v and not full_graph.has_edge(u, v):
+            non_edges.append((u, v))
+
+    hidden_scores = [similarity(u, v) for u, v in hidden]
+    negative_scores = [similarity(u, v) for u, v in non_edges]
+
+    # AUC of "hidden edge scores beat non-edge scores".
+    wins = sum(1 for h in hidden_scores for n in negative_scores if h > n)
+    ties = sum(1 for h in hidden_scores for n in negative_scores if h == n)
+    auc = (wins + 0.5 * ties) / (len(hidden_scores) * len(negative_scores))
+    print(f"\nlink-prediction AUC (hidden edges vs random non-edges): {auc:.3f}")
+
+    # Community check: a node's top-10 similar nodes should mostly share its community.
+    sample_nodes = rng.choice(full_graph.num_nodes, size=5, replace=False)
+    agreements = []
+    for node in sample_nodes:
+        node = int(node)
+        top = engine.single_source(node).top_k(10)
+        same = sum(1 for v in top.nodes if labels[int(v)] == labels[node])
+        agreements.append(same / 10)
+    print(f"average fraction of top-10 neighbours in the same community: "
+          f"{np.mean(agreements):.2f}")
+    print("\nSimRank ranks structurally close nodes first, which is what makes it a"
+          "\nuseful link-prediction and recommendation feature (paper §1).")
+
+
+if __name__ == "__main__":
+    main()

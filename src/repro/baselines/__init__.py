@@ -1,0 +1,22 @@
+"""Baseline single-source SimRank algorithms used in the paper's evaluation."""
+
+from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.power_method import PowerMethod, simrank_matrix
+from repro.baselines.monte_carlo import MonteCarloSimRank
+from repro.baselines.linearization import LinearizationSimRank
+from repro.baselines.parsim import ParSim
+from repro.baselines.prsim import PRSim
+from repro.baselines.probesim import ProbeSim
+from repro.baselines.sling import SLING
+
+__all__ = [
+    "SimRankAlgorithm",
+    "PowerMethod",
+    "simrank_matrix",
+    "MonteCarloSimRank",
+    "LinearizationSimRank",
+    "ParSim",
+    "PRSim",
+    "ProbeSim",
+    "SLING",
+]

@@ -1,0 +1,74 @@
+"""Common interface shared by every SimRank algorithm in the library.
+
+The experiment harness treats all methods uniformly: index-based methods
+(MC, Linearization, PRSim) pay a measurable preprocessing cost and carry an
+index whose size Figure 4/8 plots; index-free methods (ExactSim, ParSim,
+ProbeSim) answer queries directly.  The abstract base class captures that
+contract so drivers can sweep over heterogeneous algorithm instances.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.result import SingleSourceResult, TopKResult
+from repro.graph.digraph import DiGraph
+
+
+class SimRankAlgorithm(abc.ABC):
+    """A single-source SimRank algorithm bound to one graph."""
+
+    #: Human-readable name used in experiment output (overridden by subclasses).
+    name: str = "simrank-algorithm"
+    #: Whether the method builds an index in a preprocessing phase.
+    index_based: bool = False
+
+    def __init__(self, graph: DiGraph, *, decay: float = 0.6):
+        self.graph = graph
+        self.decay = decay
+        self.preprocessing_seconds: float = 0.0
+        self._prepared = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def preprocess(self) -> "SimRankAlgorithm":
+        """Build the index (no-op for index-free methods).  Returns ``self``."""
+        self._prepared = True
+        return self
+
+    @property
+    def prepared(self) -> bool:
+        return self._prepared
+
+    def ensure_prepared(self) -> None:
+        if not self._prepared:
+            self.preprocess()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def single_source(self, source: int) -> SingleSourceResult:
+        """Answer a single-source query (implicitly preprocessing if needed)."""
+
+    def top_k(self, source: int, k: int = 500) -> TopKResult:
+        return self.single_source(source).top_k(k)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def index_bytes(self) -> int:
+        """Size of the method's index structures in bytes (0 for index-free)."""
+        return 0
+
+    def describe(self) -> str:
+        kind = "index-based" if self.index_based else "index-free"
+        return f"{self.name} ({kind})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(graph={self.graph.name!r}, decay={self.decay})"
+
+
+__all__ = ["SimRankAlgorithm"]

@@ -1,0 +1,100 @@
+"""Linearization — Maehara et al.'s single-source method.
+
+The method rests on the same linearized identity ExactSim uses,
+S = Σ_ℓ c^ℓ (P^ℓ)ᵀ D P^ℓ, but obtains the diagonal correction matrix D in a
+*preprocessing* phase by plain Monte-Carlo: every node simulates
+``samples_per_node`` pairs of √c-walks (Algorithm 2 applied uniformly), which
+is the O(n·log n/ε²) term that prevents the method from reaching the
+exactness regime (§2.2).  Queries then run the same back-substitution as
+ExactSim with the precomputed D.
+
+``samples_per_node`` plays the role of the error parameter ε in the paper's
+sweeps: the D estimation error scales as 1/sqrt(samples_per_node).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import SimRankAlgorithm
+from repro.core.result import SingleSourceResult
+from repro.diagonal.basic import estimate_diagonal_basic
+from repro.graph.digraph import DiGraph
+from repro.graph.transition import TransitionOperator
+from repro.ppr.hop_ppr import hop_ppr_vectors
+from repro.randomwalk.engine import SqrtCWalkEngine
+from repro.utils.rng import SeedLike
+from repro.utils.timing import Timer
+from repro.utils.validation import check_node_index, check_positive_int
+
+
+class LinearizationSimRank(SimRankAlgorithm):
+    """Linearized SimRank with an MC-preprocessed diagonal correction matrix."""
+
+    name = "linearization"
+    index_based = True
+
+    def __init__(self, graph: DiGraph, *, decay: float = 0.6, epsilon: float = 1e-3,
+                 samples_per_node: Optional[int] = None, seed: SeedLike = None):
+        super().__init__(graph, decay=decay)
+        self.epsilon = float(epsilon)
+        if samples_per_node is None:
+            # The paper's setting: O(log n / ε²) pairs per node; the constant is
+            # scaled down so sweeps stay tractable on the Python substrate.
+            samples_per_node = int(np.ceil(np.log(max(graph.num_nodes, 2)) /
+                                           max(self.epsilon, 1e-6) ** 2))
+            samples_per_node = min(samples_per_node, 20_000)
+        self.samples_per_node = check_positive_int(samples_per_node, "samples_per_node")
+        self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
+        self._operator = TransitionOperator(graph, decay)
+        self._diagonal: Optional[np.ndarray] = None
+
+    def num_iterations(self) -> int:
+        return int(np.ceil(np.log(2.0 / self.epsilon) / np.log(1.0 / self.decay)))
+
+    # ------------------------------------------------------------------ #
+    # preprocessing: estimate D everywhere
+    # ------------------------------------------------------------------ #
+    def preprocess(self) -> "LinearizationSimRank":
+        timer = Timer()
+        with timer:
+            allocation = np.full(self.graph.num_nodes, self.samples_per_node, dtype=np.int64)
+            self._diagonal = estimate_diagonal_basic(
+                self.graph, allocation, decay=self.decay, engine=self._engine)
+        self.preprocessing_seconds = timer.elapsed
+        self._prepared = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # query: same back-substitution as ExactSim, with the global D
+    # ------------------------------------------------------------------ #
+    def single_source(self, source: int) -> SingleSourceResult:
+        source = check_node_index(source, self.graph.num_nodes, "source")
+        self.ensure_prepared()
+        assert self._diagonal is not None
+        timer = Timer()
+        with timer:
+            iterations = self.num_iterations()
+            hop_ppr = hop_ppr_vectors(self.graph, source, iterations, decay=self.decay,
+                                      operator=self._operator)
+            sqrt_c = self._operator.sqrt_c
+            scale = 1.0 / (1.0 - sqrt_c)
+            current = scale * self._diagonal * hop_ppr.hop_dense(iterations)
+            for level in range(1, iterations + 1):
+                current = self._operator.decayed_forward(current)
+                current += scale * self._diagonal * hop_ppr.hop_dense(iterations - level)
+            np.clip(current, 0.0, 1.0, out=current)
+        return SingleSourceResult(source=source, scores=current, algorithm=self.name,
+                                  query_seconds=timer.elapsed,
+                                  preprocessing_seconds=self.preprocessing_seconds,
+                                  stats={"samples_per_node": float(self.samples_per_node),
+                                         "iterations": float(iterations),
+                                         "index_bytes": float(self.index_bytes())})
+
+    def index_bytes(self) -> int:
+        return int(self._diagonal.nbytes) if self._diagonal is not None else 0
+
+
+__all__ = ["LinearizationSimRank"]

@@ -1,0 +1,123 @@
+"""SLING — an index-based single-source SimRank baseline (Tian & Xiao).
+
+SLING (related work, §2.1) precomputes two ingredients at indexing time:
+
+1. an ε-approximation of every diagonal correction entry D(k, k) via
+   Monte-Carlo walk pairs (the O(n·log n/ε²) preprocessing term the paper
+   criticises), and
+2. truncated *reverse* hop-PPR vectors for every node — the probabilities
+   h_j^ℓ(k) that a √c-walk from j is at k after ℓ steps — stored sparsely.
+
+At query time S(i, j) is assembled from the stored vectors through the same
+ℓ-hop identity ExactSim uses, so queries are fast but the index is large:
+this reproduces SLING's position in the index-size/accuracy trade-off
+(large index, fast queries, preprocessing far too expensive for exactness).
+
+The implementation shares the library's substrates; the ``epsilon`` knob
+controls the truncation threshold and the per-node D samples, as in the
+original system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.baselines.base import SimRankAlgorithm
+from repro.core.result import SingleSourceResult
+from repro.diagonal.basic import estimate_diagonal_basic
+from repro.graph.digraph import DiGraph
+from repro.graph.transition import TransitionOperator
+from repro.randomwalk.engine import SqrtCWalkEngine
+from repro.utils.rng import SeedLike
+from repro.utils.timing import Timer
+from repro.utils.validation import check_node_index
+
+
+class SLING(SimRankAlgorithm):
+    """Index-based SimRank with precomputed reverse hop-probability vectors."""
+
+    name = "sling"
+    index_based = True
+
+    def __init__(self, graph: DiGraph, *, decay: float = 0.6, epsilon: float = 1e-2,
+                 samples_per_node: Optional[int] = None, seed: SeedLike = None):
+        super().__init__(graph, decay=decay)
+        self.epsilon = float(epsilon)
+        if samples_per_node is None:
+            samples_per_node = min(int(np.ceil(1.0 / max(self.epsilon, 1e-6))), 10_000)
+        self.samples_per_node = int(samples_per_node)
+        self._operator = TransitionOperator(graph, decay)
+        self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
+        self._diagonal: Optional[np.ndarray] = None
+        # _hop_matrices[ℓ] is a CSR matrix H_ℓ with H_ℓ[k, j] ≈ (√c Pᵀ)^ℓ[k, j],
+        # i.e. row k holds the level-ℓ reverse hop probabilities of node k.
+        self._hop_matrices: List[sparse.csr_matrix] = []
+
+    def num_iterations(self) -> int:
+        return int(np.ceil(np.log(2.0 / self.epsilon) / np.log(1.0 / self.decay)))
+
+    # ------------------------------------------------------------------ #
+    # preprocessing
+    # ------------------------------------------------------------------ #
+    def preprocess(self) -> "SLING":
+        timer = Timer()
+        with timer:
+            allocation = np.full(self.graph.num_nodes, self.samples_per_node, dtype=np.int64)
+            self._diagonal = estimate_diagonal_basic(
+                self.graph, allocation, decay=self.decay, engine=self._engine)
+
+            iterations = self.num_iterations()
+            threshold = (1.0 - self._operator.sqrt_c) * self.epsilon
+            sqrt_c = self._operator.sqrt_c
+            current = sparse.identity(self.graph.num_nodes, format="csr", dtype=np.float64)
+            matrices: List[sparse.csr_matrix] = []
+            for _ in range(iterations + 1):
+                pruned = current.copy()
+                pruned.data[pruned.data < threshold] = 0.0
+                pruned.eliminate_zeros()
+                matrices.append(pruned)
+                current = (sqrt_c * (current @ self._operator.matrix_t)).tocsr()
+            self._hop_matrices = matrices
+        self.preprocessing_seconds = timer.elapsed
+        self._prepared = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # query
+    # ------------------------------------------------------------------ #
+    def single_source(self, source: int) -> SingleSourceResult:
+        source = check_node_index(source, self.graph.num_nodes, "source")
+        self.ensure_prepared()
+        assert self._diagonal is not None
+        timer = Timer()
+        with timer:
+            # With H_ℓ = (√c Pᵀ)^ℓ the identity (7) reduces to
+            # S(i, j) = Σ_ℓ Σ_k H_ℓ[i, k] · D(k, k) · H_ℓ[j, k]:
+            # the (1 − √c) factors of the two π^ℓ vectors cancel the 1/(1 − √c)².
+            scores = np.zeros(self.graph.num_nodes, dtype=np.float64)
+            for hop_matrix in self._hop_matrices:
+                source_row = np.asarray(hop_matrix[source].todense()).ravel()
+                weighted = source_row * self._diagonal
+                if not np.any(weighted):
+                    continue
+                scores += hop_matrix @ weighted
+            np.clip(scores, 0.0, 1.0, out=scores)
+            scores[source] = 1.0
+        return SingleSourceResult(source=source, scores=scores, algorithm=self.name,
+                                  query_seconds=timer.elapsed,
+                                  preprocessing_seconds=self.preprocessing_seconds,
+                                  stats={"epsilon": self.epsilon,
+                                         "samples_per_node": float(self.samples_per_node),
+                                         "index_bytes": float(self.index_bytes())})
+
+    def index_bytes(self) -> int:
+        total = int(self._diagonal.nbytes) if self._diagonal is not None else 0
+        for matrix in self._hop_matrices:
+            total += int(matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes)
+        return total
+
+
+__all__ = ["SLING"]

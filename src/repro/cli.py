@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Three subcommands cover the library's day-to-day uses:
+
+* ``repro-simrank datasets`` — print the dataset registry (Table 2);
+* ``repro-simrank query``    — answer a single-source / top-k query on a
+  registered dataset or an edge-list file;
+* ``repro-simrank experiment`` — regenerate one of the paper's figures or
+  tables and print the series as an aligned text table.
+
+The console script ``repro-simrank`` is installed by ``pip install -e .``;
+``python -m repro.cli`` works as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import ExactSimConfig
+from repro.core.exactsim import ExactSim
+from repro.experiments.figures import (
+    fig_ablation_basic_vs_optimized,
+    fig_error_vs_index_size,
+    fig_error_vs_preprocessing,
+    fig_error_vs_query_time,
+    fig_precision_vs_query_time,
+)
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.reporting import format_rows, format_series_table
+from repro.experiments.tables import table_dataset_statistics, table_memory_overhead
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.io import read_edge_list
+
+_FIGURE_DRIVERS = {
+    "fig1": fig_error_vs_query_time,
+    "fig2": fig_precision_vs_query_time,
+    "fig3": fig_error_vs_preprocessing,
+    "fig4": fig_error_vs_index_size,
+    "fig5": fig_error_vs_query_time,
+    "fig6": fig_precision_vs_query_time,
+    "fig7": fig_error_vs_preprocessing,
+    "fig8": fig_error_vs_index_size,
+    "fig9": fig_ablation_basic_vs_optimized,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-simrank",
+        description="ExactSim reproduction: exact single-source SimRank queries "
+                    "and the paper's experiments.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="list the registered datasets (Table 2)")
+    datasets_parser.add_argument("--sizes", action="store_true",
+                                 help="also generate the synthetic stand-ins and print their sizes")
+
+    query_parser = subparsers.add_parser("query", help="answer a single-source SimRank query")
+    source_group = query_parser.add_mutually_exclusive_group(required=True)
+    source_group.add_argument("--dataset", choices=dataset_names(),
+                              help="registered dataset key")
+    source_group.add_argument("--edge-list", help="path to an edge-list file")
+    query_parser.add_argument("--source", type=int, required=True, help="query node id")
+    query_parser.add_argument("--epsilon", type=float, default=1e-3, help="additive error target")
+    query_parser.add_argument("--decay", type=float, default=0.6, help="SimRank decay factor c")
+    query_parser.add_argument("--top-k", type=int, default=10, help="number of results to print")
+    query_parser.add_argument("--basic", action="store_true",
+                              help="run the basic (unoptimized) ExactSim variant")
+    query_parser.add_argument("--seed", type=int, default=None)
+    query_parser.add_argument("--max-samples", type=int, default=500_000,
+                              help="cap on the total number of walk pairs")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures/tables")
+    experiment_parser.add_argument("target", choices=sorted(_FIGURE_DRIVERS) + ["table2", "table3"],
+                                   help="which figure/table to regenerate")
+    experiment_parser.add_argument("--dataset", default="GQ",
+                                   help="dataset key (default GQ; figures 5-9 typically use DB)")
+    experiment_parser.add_argument("--queries", type=int, default=2,
+                                   help="number of query nodes to average over")
+    experiment_parser.add_argument("--top-k", type=int, default=50)
+    experiment_parser.add_argument("--seed", type=int, default=2020)
+    return parser
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = table_dataset_statistics(include_generated_sizes=args.sizes)
+    print(format_rows(rows))
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+    else:
+        graph = read_edge_list(args.edge_list)
+    if args.source < 0 or args.source >= graph.num_nodes:
+        print(f"error: source {args.source} out of range for graph with "
+              f"{graph.num_nodes} nodes", file=sys.stderr)
+        return 2
+
+    if args.basic:
+        config = ExactSimConfig.basic(epsilon=args.epsilon, decay=args.decay, seed=args.seed,
+                                      max_total_samples=args.max_samples)
+    else:
+        config = ExactSimConfig(epsilon=args.epsilon, decay=args.decay, seed=args.seed,
+                                max_total_samples=args.max_samples)
+    result = ExactSim(graph, config).single_source(args.source)
+    print(f"# {result.algorithm} on {graph.name}: source={args.source} "
+          f"epsilon={args.epsilon:g} time={result.query_seconds:.3f}s "
+          f"samples={int(result.stats['samples_realised'])}")
+    rows = [{"rank": rank + 1, "node": node, "simrank": score}
+            for rank, (node, score) in enumerate(result.top_k(args.top_k).as_pairs())]
+    print(format_rows(rows, float_format="{:.6f}"))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.target == "table2":
+        print(format_rows(table_dataset_statistics(include_generated_sizes=False)))
+        return 0
+    if args.target == "table3":
+        rows = table_memory_overhead([args.dataset] if args.dataset else None,
+                                     sample_cap=40_000)
+        print(format_rows(rows, columns=["dataset", "basic_human", "optimized_human",
+                                         "graph_human", "reduction_factor"]))
+        return 0
+
+    settings = ExperimentSettings(num_queries=args.queries, top_k=args.top_k,
+                                  time_budget_seconds=300, seed=args.seed)
+    driver = _FIGURE_DRIVERS[args.target]
+    if args.target == "fig9":
+        series = driver(args.dataset, settings=settings)
+    else:
+        series = driver(args.dataset, settings=settings)
+    print(format_series_table(series))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-simrank`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets(args)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

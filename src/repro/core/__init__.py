@@ -1,0 +1,28 @@
+"""The ExactSim core algorithm (the paper's primary contribution)."""
+
+from repro.core.config import ExactSimConfig
+from repro.core.result import SingleSourceResult, TopKResult
+from repro.core.sampling import (
+    total_sample_budget,
+    allocate_proportional,
+    allocate_squared,
+)
+from repro.core.sparse import sparse_truncation_threshold, sparsify_vector
+from repro.core.exactsim import ExactSim, exact_single_source, exact_top_k
+from repro.core.topk import AdaptiveTopKResult, adaptive_top_k
+
+__all__ = [
+    "AdaptiveTopKResult",
+    "adaptive_top_k",
+    "ExactSimConfig",
+    "SingleSourceResult",
+    "TopKResult",
+    "total_sample_budget",
+    "allocate_proportional",
+    "allocate_squared",
+    "sparse_truncation_threshold",
+    "sparsify_vector",
+    "ExactSim",
+    "exact_single_source",
+    "exact_top_k",
+]

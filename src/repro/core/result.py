@@ -1,0 +1,98 @@
+"""Result value types returned by ExactSim and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SingleSourceResult:
+    """A single-source SimRank answer: one similarity score per node.
+
+    Attributes
+    ----------
+    source:
+        The query node.
+    scores:
+        Array of length ``n``; ``scores[j]`` estimates S(source, j).
+    algorithm:
+        Human-readable name of the producing algorithm/variant.
+    query_seconds / preprocessing_seconds:
+        Wall-clock time split the experiment harness records (the paper plots
+        query time for index-free methods and both for index-based ones).
+    stats:
+        Free-form numeric diagnostics (sample counts, iteration depth L,
+        memory bytes, ...) used by the ablation and memory experiments.
+    """
+
+    source: int
+    scores: np.ndarray
+    algorithm: str = "exactsim"
+    query_seconds: float = 0.0
+    preprocessing_seconds: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.scores.shape[0])
+
+    def similarity(self, node: int) -> float:
+        """The estimated SimRank similarity S(source, node)."""
+        return float(self.scores[node])
+
+    def top_k(self, k: int, *, include_source: bool = False) -> "TopKResult":
+        """The ``k`` nodes most similar to the source (ties broken by node id)."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        scores = self.scores.copy()
+        if not include_source and 0 <= self.source < scores.shape[0]:
+            scores[self.source] = -np.inf
+        k = min(k, scores.shape[0])
+        # argsort on (-score, node id) gives a deterministic order.
+        order = np.lexsort((np.arange(scores.shape[0]), -scores))
+        nodes = order[:k]
+        return TopKResult(source=self.source, nodes=nodes.astype(np.int64),
+                          scores=self.scores[nodes].astype(np.float64),
+                          algorithm=self.algorithm)
+
+    def max_error_against(self, reference: np.ndarray) -> float:
+        """Maximum absolute deviation from a reference score vector."""
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.shape != self.scores.shape:
+            raise ValueError("reference vector has mismatching length")
+        return float(np.max(np.abs(self.scores - reference)))
+
+    def memory_bytes(self) -> int:
+        return int(self.scores.nbytes)
+
+
+@dataclass
+class TopKResult:
+    """The answer to a top-k query: nodes sorted by decreasing similarity."""
+
+    source: int
+    nodes: np.ndarray
+    scores: np.ndarray
+    algorithm: str = "exactsim"
+
+    @property
+    def k(self) -> int:
+        return int(self.nodes.shape[0])
+
+    def as_pairs(self) -> List[Tuple[int, float]]:
+        return [(int(node), float(score)) for node, score in zip(self.nodes, self.scores)]
+
+    def node_set(self) -> set:
+        return set(int(node) for node in self.nodes)
+
+    def precision_against(self, reference: "TopKResult") -> float:
+        """Fraction of this result's nodes that appear in ``reference``."""
+        if reference.k == 0:
+            return 0.0
+        return len(self.node_set() & reference.node_set()) / float(reference.k)
+
+
+__all__ = ["SingleSourceResult", "TopKResult"]

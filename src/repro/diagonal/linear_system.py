@@ -1,0 +1,94 @@
+"""Solving for the diagonal correction matrix D as a linear system.
+
+Linearization (Maehara et al.) observes that D is the unique diagonal matrix
+for which the linearized series reproduces SimRank's defining property
+S(k, k) = 1 for every node:
+
+    diag( Σ_ℓ c^ℓ (P^ℓ)ᵀ D P^ℓ ) = 1.
+
+Writing d for the diagonal vector, the constraint is a linear system
+A·d = 1 with A[k, j] = Σ_ℓ c^ℓ ((P^ℓ)[j, k])², which Linearization solves
+approximately by Monte-Carlo (our :mod:`repro.diagonal.basic`) because
+forming A costs O(n²).  On small graphs, however, the system can be solved
+*exactly* by fixed-point iteration, giving a second ground-truth oracle for D
+that is independent of the SimRank matrix — the tests use it to cross-check
+``exact_diagonal`` and every estimator.
+
+The fixed-point view: start from d⁰ = (1 − c)·1 and iterate
+
+    d^{t+1}(k) = d^t(k) + (1 − S_t(k, k)),
+
+where S_t is the linearized series evaluated with d^t.  Because increasing
+d(k) increases S(k, k) with unit derivative at ℓ = 0 and non-negative
+derivatives elsewhere, the iteration converges geometrically (rate ≤ c).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.transition import TransitionOperator
+from repro.utils.validation import check_positive
+
+
+def linearized_diagonal_residual(graph: DiGraph, diagonal: np.ndarray, *,
+                                 decay: float = 0.6, num_levels: Optional[int] = None
+                                 ) -> np.ndarray:
+    """The vector S_d(k, k) − 1 for the linearized series evaluated with ``diagonal``.
+
+    S_d(k, k) = Σ_ℓ c^ℓ Σ_j ((P^ℓ)[j, k])² d(j) is computed without forming
+    any n×n matrix: the columns of P^ℓ are advanced level by level as a dense
+    (n, n) propagation only implicitly — we instead push the *squared* column
+    masses through one sparse mat-mat product per level, which costs
+    O(m·n_levels) per level on the small graphs this oracle targets.
+    """
+    num_nodes = graph.num_nodes
+    operator = TransitionOperator(graph, decay)
+    transition = operator.matrix          # P, CSR
+    if num_levels is None:
+        num_levels = int(np.ceil(np.log(1e-12) / np.log(decay)))
+
+    # columns[:, k] = (P^ℓ e_k); start at ℓ = 0 with the identity.
+    columns = np.eye(num_nodes, dtype=np.float64)
+    diag_values = np.zeros(num_nodes, dtype=np.float64)
+    factor = 1.0
+    for _ in range(num_levels + 1):
+        diag_values += factor * (columns ** 2).T @ diagonal
+        columns = transition @ columns
+        factor *= decay
+        if factor < 1e-14:
+            break
+    return diag_values - 1.0
+
+
+def solve_diagonal_linear_system(graph: DiGraph, *, decay: float = 0.6,
+                                 tolerance: float = 1e-10, max_iterations: int = 200
+                                 ) -> Tuple[np.ndarray, int]:
+    """Solve for the exact diagonal correction vector d by fixed-point iteration.
+
+    Returns ``(d, iterations_used)``.  Intended for small graphs (dense n×n
+    work per iteration); it is the oracle the tests use to validate the
+    Monte-Carlo and local-exploitation estimators independently of the
+    PowerMethod route.
+    """
+    check_positive(tolerance, "tolerance")
+    num_nodes = graph.num_nodes
+    if num_nodes == 0:
+        return np.zeros(0, dtype=np.float64), 0
+
+    diagonal = np.full(num_nodes, 1.0 - decay, dtype=np.float64)
+    diagonal[graph.in_degrees == 0] = 1.0
+    iterations_used = 0
+    for iteration in range(1, max_iterations + 1):
+        residual = linearized_diagonal_residual(graph, diagonal, decay=decay)
+        diagonal = diagonal - residual
+        iterations_used = iteration
+        if np.max(np.abs(residual)) < tolerance:
+            break
+    return diagonal, iterations_used
+
+
+__all__ = ["linearized_diagonal_residual", "solve_diagonal_linear_system"]

@@ -1,0 +1,272 @@
+"""Local deterministic exploitation for D(k, k) — Algorithm 3 and Lemma 4.
+
+For nodes that receive many samples, the first few steps of all those walk
+pairs explore the same local neighbourhood.  Algorithm 3 therefore computes
+the first-meeting probabilities
+
+    Z_ℓ(k) = Σ_q Z_ℓ(k, q) = Pr[two √c-walks from k first meet at step ℓ]
+
+*exactly* for ℓ ≤ ℓ(k) via the recursion of Lemma 4,
+
+    Z_ℓ(k, q) = c^ℓ (Pᵀ)^ℓ(k, q)²
+                − Σ_{ℓ'=1}^{ℓ-1} Σ_{q'} c^{ℓ-ℓ'} (Pᵀ)^{ℓ-ℓ'}(q', q)² · Z_{ℓ'}(k, q'),
+
+and only estimates the tail Σ_{ℓ > ℓ(k)} Z_ℓ(k) with random walks.  The
+target level ℓ(k) is chosen adaptively: the deterministic exploration stops
+as soon as the number of traversed edges exceeds 2·R(k)/√c, the expected cost
+of simulating the R(k) walk pairs it replaces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.randomwalk.engine import SqrtCWalkEngine
+from repro.randomwalk.meeting import estimate_tail_meeting_probability
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_node_index, check_positive_int, check_vector_length
+
+# A sparse probability distribution over nodes.
+Distribution = Dict[int, float]
+
+
+def _propagate(graph: DiGraph, distribution: Distribution) -> Tuple[Distribution, int]:
+    """One non-stopping reverse-walk step of ``distribution``.
+
+    Returns the new distribution and the number of edges traversed (the cost
+    counter E_k of Algorithm 3).  Mass at dangling nodes disappears, matching
+    a √c-walk that stops because it cannot move.
+    """
+    spread: Distribution = defaultdict(float)
+    traversed = 0
+    indptr = graph.in_indptr
+    indices = graph.in_indices
+    for node, probability in distribution.items():
+        start, stop = indptr[node], indptr[node + 1]
+        degree = int(stop - start)
+        if degree == 0:
+            continue
+        share = probability / degree
+        traversed += degree
+        for neighbor in indices[start:stop].tolist():
+            spread[neighbor] += share
+    return dict(spread), traversed
+
+
+class BudgetExhausted(Exception):
+    """Raised by :class:`_DistributionCache` when the edge budget is spent."""
+
+
+class _DistributionCache:
+    """Lazily extended non-stop walk distributions from arbitrary start nodes.
+
+    ``edge_budget`` implements Algorithm 3's cost counter E_k: every traversed
+    edge is charged to the budget, and the cache raises
+    :class:`BudgetExhausted` as soon as the budget is spent so the caller can
+    stop the deterministic exploration mid-level (exactly the paper's
+    ``goto OUTLOOP``).
+    """
+
+    def __init__(self, graph: DiGraph, edge_budget: Optional[float] = None):
+        self._graph = graph
+        self._cache: Dict[int, List[Distribution]] = {}
+        self.traversed_edges = 0
+        self.edge_budget = edge_budget
+
+    def distribution(self, start: int, steps: int) -> Distribution:
+        levels = self._cache.setdefault(start, [{start: 1.0}])
+        while len(levels) <= steps:
+            if self.edge_budget is not None and self.traversed_edges >= self.edge_budget:
+                raise BudgetExhausted()
+            extended, cost = _propagate(self._graph, levels[-1])
+            self.traversed_edges += cost
+            levels.append(extended)
+        return levels[steps]
+
+
+@dataclass
+class LocalExploitResult:
+    """Outcome of Algorithm 3 for one node."""
+
+    node: int
+    estimate: float
+    chosen_level: int
+    deterministic_mass: float
+    tail_estimate: float
+    traversed_edges: int
+    sampled_pairs: int
+    exact: bool = False
+
+
+def first_meeting_probabilities(graph: DiGraph, node: int, max_level: int, *,
+                                decay: float = 0.6) -> List[Distribution]:
+    """Z_ℓ(node, ·) for ℓ = 1 … ``max_level`` via the Lemma 4 recursion.
+
+    Intended for small neighbourhoods and for the tests that validate the
+    recursion against brute-force enumeration; Algorithm 3 embeds the same
+    recursion with the adaptive edge budget.
+    """
+    node = check_node_index(node, graph.num_nodes)
+    max_level = check_positive_int(max_level, "max_level")
+    cache = _DistributionCache(graph)
+    z_levels: List[Distribution] = []
+    for level in range(1, max_level + 1):
+        from_k = cache.distribution(node, level)
+        z_current: Distribution = {
+            q: (decay ** level) * probability * probability
+            for q, probability in from_k.items()
+        }
+        for first_meeting_level in range(1, level):
+            remaining = level - first_meeting_level
+            for q_prime, z_value in z_levels[first_meeting_level - 1].items():
+                if z_value <= 0.0:
+                    continue
+                from_q_prime = cache.distribution(q_prime, remaining)
+                factor = decay ** remaining
+                for q, probability in from_q_prime.items():
+                    if q in z_current:
+                        z_current[q] -= z_value * factor * probability * probability
+        z_levels.append({q: max(value, 0.0) for q, value in z_current.items() if value > 0.0})
+    return z_levels
+
+
+def estimate_diagonal_entry_local(graph: DiGraph, node: int, num_pairs: int, *,
+                                  decay: float = 0.6, max_level: int = 20,
+                                  max_steps: int = 64, seed: SeedLike = None,
+                                  engine: Optional[SqrtCWalkEngine] = None
+                                  ) -> LocalExploitResult:
+    """Algorithm 3: estimate D(node, node) with deterministic local exploitation.
+
+    Parameters
+    ----------
+    num_pairs:
+        The sample budget R(k) this node was allocated; it both caps the
+        deterministic edge budget (2·R(k)/√c) and sets the number of walk
+        pairs used for the tail estimate.
+    max_level:
+        Hard cap on ℓ(k); the paper's adaptive rule almost always stops far
+        earlier because the edge budget is exhausted.
+    """
+    node = check_node_index(node, graph.num_nodes)
+    in_degree = graph.in_degree(node)
+    if in_degree == 0:
+        return LocalExploitResult(node=node, estimate=1.0, chosen_level=0,
+                                  deterministic_mass=0.0, tail_estimate=0.0,
+                                  traversed_edges=0, sampled_pairs=0, exact=True)
+    if in_degree == 1:
+        return LocalExploitResult(node=node, estimate=1.0 - decay, chosen_level=0,
+                                  deterministic_mass=decay, tail_estimate=0.0,
+                                  traversed_edges=0, sampled_pairs=0, exact=True)
+
+    num_pairs = check_positive_int(num_pairs, "num_pairs")
+    sqrt_c = float(np.sqrt(decay))
+    edge_budget = 2.0 * num_pairs / sqrt_c
+
+    cache = _DistributionCache(graph, edge_budget=edge_budget)
+    z_levels: List[Distribution] = []
+    chosen_level = 0
+    for level in range(1, max_level + 1):
+        if cache.traversed_edges >= edge_budget:
+            break
+        try:
+            from_k = cache.distribution(node, level)
+            z_current: Distribution = {
+                q: (decay ** level) * probability * probability
+                for q, probability in from_k.items()
+            }
+            for first_meeting_level in range(1, level):
+                remaining = level - first_meeting_level
+                for q_prime, z_value in z_levels[first_meeting_level - 1].items():
+                    if z_value <= 0.0:
+                        continue
+                    from_q_prime = cache.distribution(q_prime, remaining)
+                    factor = decay ** remaining
+                    for q, probability in from_q_prime.items():
+                        if q in z_current:
+                            z_current[q] -= z_value * factor * probability * probability
+        except BudgetExhausted:
+            # Paper's "goto OUTLOOP": the level under construction is discarded
+            # and ℓ(k) stays at the last fully computed level.
+            break
+        z_levels.append({q: max(value, 0.0) for q, value in z_current.items() if value > 0.0})
+        chosen_level = level
+
+    deterministic_mass = float(sum(sum(level.values()) for level in z_levels))
+    estimate = 1.0 - deterministic_mass
+
+    # Tail: remaining first-meeting mass beyond the deterministic horizon.  If
+    # the surviving-pair probability c^ℓ(k) is already below the resolution of
+    # the sample budget there is nothing worth sampling.
+    tail_estimate = 0.0
+    tail_resolution = decay ** chosen_level
+    if tail_resolution * num_pairs >= 1.0:
+        walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
+        tail_estimate = estimate_tail_meeting_probability(
+            graph, node, num_pairs, chosen_level,
+            decay=decay, max_steps=max_steps, engine=walker)
+        estimate -= tail_estimate
+
+    estimate = float(min(max(estimate, 0.0), 1.0))
+    return LocalExploitResult(node=node, estimate=estimate, chosen_level=chosen_level,
+                              deterministic_mass=deterministic_mass,
+                              tail_estimate=tail_estimate,
+                              traversed_edges=cache.traversed_edges,
+                              sampled_pairs=num_pairs)
+
+
+def estimate_diagonal_local(graph: DiGraph, allocations: np.ndarray, *,
+                            decay: float = 0.6, max_level: int = 20,
+                            max_steps: int = 64, seed: SeedLike = None,
+                            min_pairs_for_exploitation: int = 32,
+                            engine: Optional[SqrtCWalkEngine] = None) -> np.ndarray:
+    """Estimate the full diagonal with Algorithm 3 under the given allocation.
+
+    Nodes whose allocation is below ``min_pairs_for_exploitation`` fall back
+    to the plain Algorithm 2 estimator: deterministic exploitation only pays
+    off when the sampled pairs it replaces would have re-traversed the same
+    neighbourhood many times (the paper's budget rule makes the same call
+    implicitly by choosing ℓ(k) = 0-ish levels for lightly sampled nodes).
+    """
+    allocations = check_vector_length(np.asarray(allocations), graph.num_nodes, "allocations")
+    if np.any(allocations < 0):
+        raise ValueError("allocations must be non-negative")
+    walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
+    in_degrees = graph.in_degrees
+    allocations = allocations.astype(np.int64)
+
+    diagonal = np.full(graph.num_nodes, 1.0 - decay, dtype=np.float64)
+    diagonal[in_degrees == 0] = 1.0
+
+    # Lightly sampled nodes: plain Algorithm 2, batched into one vectorised
+    # pass (deterministic exploitation would cost more than the walks it
+    # replaces there).  Heavily sampled nodes: Algorithm 3 node by node.
+    light = (allocations > 0) & (allocations < min_pairs_for_exploitation) & (in_degrees > 1)
+    heavy = (allocations >= min_pairs_for_exploitation) & (in_degrees > 1)
+
+    if light.any():
+        pair_starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64)[light],
+                                allocations[light])
+        met = walker.pair_walks_meet_batch(pair_starts, max_steps=max_steps)
+        met_counts = np.bincount(pair_starts[met], minlength=graph.num_nodes)
+        diagonal[light] = 1.0 - met_counts[light] / allocations[light]
+
+    for node in np.flatnonzero(heavy):
+        node = int(node)
+        result = estimate_diagonal_entry_local(
+            graph, node, int(allocations[node]),
+            decay=decay, max_level=max_level, max_steps=max_steps, engine=walker)
+        diagonal[node] = result.estimate
+    return diagonal
+
+
+__all__ = [
+    "LocalExploitResult",
+    "first_meeting_probabilities",
+    "estimate_diagonal_entry_local",
+    "estimate_diagonal_local",
+]

@@ -1,0 +1,55 @@
+"""Experiment drivers that regenerate every figure and table of the paper.
+
+Each public function returns plain Python data (lists of dictionaries /
+:class:`repro.experiments.harness.Series` objects) so benchmarks, examples and
+tests can all consume the same drivers.  The mapping between drivers and the
+paper's figures/tables is documented in DESIGN.md §3 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.harness import (
+    ExperimentSettings,
+    MethodSweep,
+    Series,
+    SweepPoint,
+    run_method_sweep,
+    select_query_nodes,
+)
+from repro.experiments.figures import (
+    fig_error_vs_query_time,
+    fig_precision_vs_query_time,
+    fig_error_vs_preprocessing,
+    fig_error_vs_index_size,
+    fig_ablation_basic_vs_optimized,
+)
+from repro.experiments.tables import table_dataset_statistics, table_memory_overhead
+from repro.experiments.ablation import (
+    ablation_sampling_allocation,
+    ablation_diagonal_estimators,
+    ablation_sparse_linearization,
+)
+from repro.experiments.reporting import format_series_table, format_rows, series_to_rows
+from repro.experiments.export import ascii_scatter, series_to_csv
+
+__all__ = [
+    "ascii_scatter",
+    "series_to_csv",
+    "ExperimentSettings",
+    "MethodSweep",
+    "Series",
+    "SweepPoint",
+    "run_method_sweep",
+    "select_query_nodes",
+    "fig_error_vs_query_time",
+    "fig_precision_vs_query_time",
+    "fig_error_vs_preprocessing",
+    "fig_error_vs_index_size",
+    "fig_ablation_basic_vs_optimized",
+    "table_dataset_statistics",
+    "table_memory_overhead",
+    "ablation_sampling_allocation",
+    "ablation_diagonal_estimators",
+    "ablation_sparse_linearization",
+    "format_series_table",
+    "format_rows",
+    "series_to_rows",
+]

@@ -1,0 +1,114 @@
+"""Ablation experiments for the individual optimizations of §3.2.
+
+Figure 9 compares Basic vs fully Optimized ExactSim; these drivers decompose
+that gap into the three ingredients so DESIGN.md's design-choice claims can be
+checked one at a time:
+
+* sampling ∝ π vs ∝ π² at an equal realised walk budget (Lemma 3);
+* Algorithm 2 vs Algorithm 3 for the diagonal at an equal budget;
+* dense vs sparse linearization: memory and the extra error (Lemma 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import ExactSimConfig
+from repro.core.exactsim import ExactSim
+from repro.experiments.figures import ground_truth_provider, _dataset_scale, _resolve_graph
+from repro.experiments.harness import select_query_nodes
+from repro.graph.digraph import DiGraph
+from repro.metrics.accuracy import max_error
+
+GraphOrName = Union[str, DiGraph]
+
+
+def _run_variant(graph: DiGraph, config: ExactSimConfig, query_nodes: Sequence[int],
+                 truth) -> Dict[str, float]:
+    engine = ExactSim(graph, config)
+    errors: List[float] = []
+    times: List[float] = []
+    samples: List[float] = []
+    memory: List[float] = []
+    for source in query_nodes:
+        result = engine.single_source(int(source))
+        errors.append(max_error(result.scores, truth(int(source))))
+        times.append(result.query_seconds)
+        samples.append(result.stats["samples_realised"])
+        memory.append(result.stats["extra_memory_bytes"])
+    return {
+        "max_error": float(np.mean(errors)),
+        "query_seconds": float(np.mean(times)),
+        "samples_realised": float(np.mean(samples)),
+        "extra_memory_bytes": float(np.mean(memory)),
+    }
+
+
+def _common_setup(dataset: GraphOrName, num_queries: int, decay: float, seed: int):
+    graph = _resolve_graph(dataset)
+    scale = _dataset_scale(dataset)
+    query_nodes = select_query_nodes(graph, num_queries, seed=seed)
+    truth = ground_truth_provider(graph, scale, decay=decay, seed=seed)
+    return graph, query_nodes, truth
+
+
+def ablation_sampling_allocation(dataset: GraphOrName, *, epsilon: float = 1e-2,
+                                 sample_cap: int = 100_000, num_queries: int = 3,
+                                 decay: float = 0.6, seed: int = 2020
+                                 ) -> List[Dict[str, object]]:
+    """Sampling ∝ π_i(k) vs ∝ π_i(k)² at the same cap (Lemma 3)."""
+    graph, query_nodes, truth = _common_setup(dataset, num_queries, decay, seed)
+    base = ExactSimConfig(epsilon=epsilon, decay=decay, seed=seed,
+                          max_total_samples=sample_cap,
+                          use_local_exploitation=False)
+    rows = []
+    for label, use_squared in (("proportional", False), ("squared", True)):
+        config = replace(base, use_squared_sampling=use_squared)
+        row: Dict[str, object] = {"allocation": label}
+        row.update(_run_variant(graph, config, query_nodes, truth))
+        rows.append(row)
+    return rows
+
+
+def ablation_diagonal_estimators(dataset: GraphOrName, *, epsilon: float = 1e-2,
+                                 sample_cap: int = 100_000, num_queries: int = 3,
+                                 decay: float = 0.6, seed: int = 2020
+                                 ) -> List[Dict[str, object]]:
+    """Algorithm 2 vs Algorithm 3 for D(k, k) under the same sample allocation."""
+    graph, query_nodes, truth = _common_setup(dataset, num_queries, decay, seed)
+    base = ExactSimConfig(epsilon=epsilon, decay=decay, seed=seed,
+                          max_total_samples=sample_cap)
+    rows = []
+    for label, use_local in (("algorithm-2", False), ("algorithm-3", True)):
+        config = replace(base, use_local_exploitation=use_local)
+        row: Dict[str, object] = {"diagonal_estimator": label}
+        row.update(_run_variant(graph, config, query_nodes, truth))
+        rows.append(row)
+    return rows
+
+
+def ablation_sparse_linearization(dataset: GraphOrName, *, epsilon: float = 1e-2,
+                                  sample_cap: int = 100_000, num_queries: int = 3,
+                                  decay: float = 0.6, seed: int = 2020
+                                  ) -> List[Dict[str, object]]:
+    """Dense vs sparse hop-PPR storage: memory saving vs extra error (Lemma 2)."""
+    graph, query_nodes, truth = _common_setup(dataset, num_queries, decay, seed)
+    base = ExactSimConfig(epsilon=epsilon, decay=decay, seed=seed,
+                          max_total_samples=sample_cap)
+    rows = []
+    for label, use_sparse in (("dense", False), ("sparse", True)):
+        config = replace(base, use_sparse_linearization=use_sparse)
+        row: Dict[str, object] = {"linearization": label}
+        row.update(_run_variant(graph, config, query_nodes, truth))
+        rows.append(row)
+    return rows
+
+
+__all__ = [
+    "ablation_sampling_allocation",
+    "ablation_diagonal_estimators",
+    "ablation_sparse_linearization",
+]

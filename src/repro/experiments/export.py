@@ -1,0 +1,98 @@
+"""Exporting experiment series: CSV files and ASCII log-log scatter plots.
+
+The paper presents its evaluation as log-log scatter plots.  This module
+renders the same data without a plotting dependency: ``series_to_csv`` writes
+the sweep points of a figure to a CSV file (for downstream matplotlib/pgfplots
+users), and ``ascii_scatter`` draws a quick log-log scatter in plain text so a
+terminal user can eyeball a figure's shape right after regenerating it.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.harness import Series
+from repro.experiments.reporting import series_to_rows
+
+PathLike = Union[str, "Path"]
+
+_MARKERS = "oxd*+s^v#@"
+
+
+def series_to_csv(series_list: Iterable[Series], path: PathLike, *,
+                  columns: Optional[Sequence[str]] = None) -> int:
+    """Write the sweep points of ``series_list`` to ``path``; returns the row count."""
+    rows = series_to_rows(series_list)
+    if columns is None:
+        columns = ["dataset", "algorithm", "parameter", "query_seconds",
+                   "preprocessing_seconds", "index_bytes", "max_error",
+                   "precision_at_k", "num_queries", "skipped"]
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def _log_positions(values: Sequence[float], cells: int) -> List[int]:
+    """Map positive values onto 0..cells-1 on a log scale (degenerate-safe)."""
+    logs = [math.log10(value) for value in values]
+    low, high = min(logs), max(logs)
+    span = high - low
+    if span <= 0.0:
+        return [cells // 2 for _ in logs]
+    return [min(cells - 1, int(round((value - low) / span * (cells - 1)))) for value in logs]
+
+
+def ascii_scatter(series_list: Sequence[Series], *, x_field: str = "query_seconds",
+                  y_field: str = "max_error", width: int = 64, height: int = 20,
+                  title: Optional[str] = None) -> str:
+    """Render a log-log scatter plot of the given series as a text block.
+
+    Each series gets one marker character; the legend maps markers back to
+    algorithm names.  Non-positive or missing values are skipped (they cannot
+    be placed on a log axis).
+    """
+    if width < 10 or height < 5:
+        raise ValueError("width must be >= 10 and height >= 5")
+
+    points: List[Tuple[int, float, float]] = []   # (series index, x, y)
+    for index, series in enumerate(series_list):
+        for x_value, y_value in series.xy(x_field, y_field):
+            if x_value and y_value and x_value > 0 and y_value > 0 \
+                    and not (math.isnan(x_value) or math.isnan(y_value)):
+                points.append((index, float(x_value), float(y_value)))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no plottable points)")
+        return "\n".join(lines)
+
+    x_cells = _log_positions([point[1] for point in points], width)
+    y_cells = _log_positions([point[2] for point in points], height)
+    grid = [[" "] * width for _ in range(height)]
+    for (series_index, _, _), x_cell, y_cell in zip(points, x_cells, y_cells):
+        row = height - 1 - y_cell
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        grid[row][x_cell] = marker
+
+    x_values = [point[1] for point in points]
+    y_values = [point[2] for point in points]
+    lines.append(f"y: {y_field}  [{min(y_values):.2e} .. {max(y_values):.2e}]  (log scale)")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_field}  [{min(x_values):.2e} .. {max(x_values):.2e}]  (log scale)")
+    legend = "  ".join(f"{_MARKERS[index % len(_MARKERS)]}={series.algorithm}"
+                       for index, series in enumerate(series_list))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+__all__ = ["series_to_csv", "ascii_scatter"]

@@ -1,0 +1,258 @@
+"""Figure drivers (Figures 1–9 of the paper).
+
+Every driver follows the paper's protocol: a dataset, a set of query nodes, a
+per-method accuracy sweep and a ground-truth oracle (PowerMethod on small
+graphs, ExactSim at the finest ε on large graphs).  The drivers return
+:class:`repro.experiments.harness.Series` objects; which two columns to plot
+for each figure is part of the function's contract (and of EXPERIMENTS.md):
+
+* Figure 1 / 5 — ``query_seconds`` vs ``max_error``;
+* Figure 2 / 6 — ``query_seconds`` vs ``precision_at_k``;
+* Figure 3 / 7 — ``preprocessing_seconds`` vs ``max_error`` (index-based methods);
+* Figure 4 / 8 — ``index_bytes`` vs ``max_error`` (index-based methods);
+* Figure 9     — ``query_seconds`` vs ``max_error`` for Basic vs Optimized ExactSim.
+
+The sweep grids default to ranges a pure-Python substrate can execute in
+seconds per point; they mirror the paper's grids in spirit (each method's own
+accuracy knob is swept from coarse to fine).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.linearization import LinearizationSimRank
+from repro.baselines.monte_carlo import MonteCarloSimRank
+from repro.baselines.parsim import ParSim
+from repro.baselines.power_method import PowerMethod
+from repro.baselines.prsim import PRSim
+from repro.core.config import ExactSimConfig
+from repro.core.exactsim import ExactSim
+from repro.core.result import SingleSourceResult
+from repro.experiments.harness import (
+    ExperimentSettings,
+    MethodSweep,
+    Series,
+    run_method_sweep,
+    select_query_nodes,
+)
+from repro.graph.datasets import get_spec, load_dataset
+from repro.graph.digraph import DiGraph
+
+GraphOrName = Union[str, DiGraph]
+
+#: Default accuracy grids per method, from coarse to fine.  Values are the
+#: method's own knob: ε for ExactSim/PRSim, walks per node for MC, iterations
+#: for ParSim, D samples per node for Linearization.
+DEFAULT_GRIDS: Dict[str, Sequence[float]] = {
+    "exactsim": (1e-1, 3e-2, 1e-2, 3e-3, 1e-3),
+    "mc": (10, 50, 200),
+    "parsim": (3, 5, 10, 20),
+    "linearization": (10, 100, 500),
+    "prsim": (1e-1, 3e-2, 1e-2),
+}
+
+#: Per-query walk-pair cap used by ExactSim inside the sweeps, so a single
+#: figure regenerates in minutes on the Python substrate.
+SWEEP_SAMPLE_CAP = 120_000
+#: Cap used when ExactSim serves as the large-graph ground-truth oracle.
+ORACLE_SAMPLE_CAP = 200_000
+
+
+class _ExactSimAdapter(SimRankAlgorithm):
+    """Adapter exposing :class:`ExactSim` through the baseline interface."""
+
+    name = "exactsim"
+    index_based = False
+
+    def __init__(self, graph: DiGraph, config: ExactSimConfig, *, variant_name: str = "exactsim"):
+        super().__init__(graph, decay=config.decay)
+        self.name = variant_name
+        self._engine = ExactSim(graph, config)
+
+    def single_source(self, source: int) -> SingleSourceResult:
+        result = self._engine.single_source(source)
+        result.algorithm = self.name
+        return result
+
+
+def _resolve_graph(dataset: GraphOrName) -> DiGraph:
+    if isinstance(dataset, DiGraph):
+        return dataset
+    return load_dataset(dataset)
+
+
+def _dataset_scale(dataset: GraphOrName) -> str:
+    if isinstance(dataset, str):
+        return get_spec(dataset).scale
+    # Heuristic for ad-hoc graphs: PowerMethod is practical below ~3000 nodes.
+    return "small" if dataset.num_nodes <= 3_000 else "large"
+
+
+def default_method_sweeps(graph: DiGraph, *, decay: float = 0.6, seed: int = 7,
+                          grids: Optional[Dict[str, Sequence[float]]] = None,
+                          sample_cap: int = SWEEP_SAMPLE_CAP) -> Dict[str, MethodSweep]:
+    """The five algorithms of Figures 1/2/5/6 with their default sweeps."""
+    grids = {**DEFAULT_GRIDS, **(grids or {})}
+
+    def exactsim_factory(epsilon: float) -> SimRankAlgorithm:
+        config = ExactSimConfig(epsilon=float(epsilon), decay=decay, seed=seed,
+                                max_total_samples=sample_cap)
+        return _ExactSimAdapter(graph, config)
+
+    def mc_factory(walks: float) -> SimRankAlgorithm:
+        return MonteCarloSimRank(graph, decay=decay, walks_per_node=int(walks),
+                                 walk_length=10, seed=seed)
+
+    def parsim_factory(iterations: float) -> SimRankAlgorithm:
+        return ParSim(graph, decay=decay, iterations=int(iterations))
+
+    def linearization_factory(samples: float) -> SimRankAlgorithm:
+        return LinearizationSimRank(graph, decay=decay, epsilon=1e-3,
+                                    samples_per_node=int(samples), seed=seed)
+
+    def prsim_factory(epsilon: float) -> SimRankAlgorithm:
+        return PRSim(graph, decay=decay, epsilon=float(epsilon), seed=seed)
+
+    return {
+        "exactsim": MethodSweep("exactsim", exactsim_factory, grids["exactsim"]),
+        "mc": MethodSweep("mc", mc_factory, grids["mc"]),
+        "parsim": MethodSweep("parsim", parsim_factory, grids["parsim"]),
+        "linearization": MethodSweep("linearization", linearization_factory,
+                                     grids["linearization"]),
+        "prsim": MethodSweep("prsim", prsim_factory, grids["prsim"]),
+    }
+
+
+def ground_truth_provider(graph: DiGraph, scale: str, *, decay: float = 0.6,
+                          seed: int = 7) -> Callable[[int], np.ndarray]:
+    """The paper's ground-truth oracle.
+
+    Small graphs: the PowerMethod matrix.  Large graphs: ExactSim at the
+    finest ε the substrate can afford (the paper uses ε = 1e-7; here the
+    oracle uses ε = 1e-4 with an enlarged sample cap, which the small-graph
+    experiments show is already well past the precision any baseline in the
+    sweep reaches).
+    """
+    if scale == "small":
+        oracle = PowerMethod(graph, decay=decay).preprocess()
+
+        def power_truth(source: int) -> np.ndarray:
+            return oracle.matrix[source]
+        return power_truth
+
+    config = ExactSimConfig(epsilon=1e-4, decay=decay, seed=seed,
+                            max_total_samples=ORACLE_SAMPLE_CAP)
+    engine = ExactSim(graph, config)
+    cache: Dict[int, np.ndarray] = {}
+
+    def exactsim_truth(source: int) -> np.ndarray:
+        if source not in cache:
+            cache[source] = engine.single_source(source).scores
+        return cache[source]
+    return exactsim_truth
+
+
+def _run_figure(dataset: GraphOrName, methods: Optional[Sequence[str]],
+                settings: Optional[ExperimentSettings], *, decay: float,
+                grids: Optional[Dict[str, Sequence[float]]] = None) -> List[Series]:
+    graph = _resolve_graph(dataset)
+    scale = _dataset_scale(dataset)
+    settings = settings or ExperimentSettings()
+    sweeps = default_method_sweeps(graph, decay=decay, seed=settings.seed, grids=grids)
+    if methods is not None:
+        sweeps = {name: sweeps[name] for name in methods}
+    query_nodes = select_query_nodes(graph, settings.num_queries, seed=settings.seed)
+    truth = ground_truth_provider(graph, scale, decay=decay, seed=settings.seed)
+    dataset_name = dataset if isinstance(dataset, str) else graph.name
+    return [run_method_sweep(graph, sweep, query_nodes, truth, settings=settings,
+                             dataset_name=dataset_name)
+            for sweep in sweeps.values()]
+
+
+def fig_error_vs_query_time(dataset: GraphOrName, *, methods: Optional[Sequence[str]] = None,
+                            settings: Optional[ExperimentSettings] = None,
+                            decay: float = 0.6,
+                            grids: Optional[Dict[str, Sequence[float]]] = None
+                            ) -> List[Series]:
+    """Figures 1 (small graphs) and 5 (large graphs): MaxError vs query time."""
+    return _run_figure(dataset, methods, settings, decay=decay, grids=grids)
+
+
+def fig_precision_vs_query_time(dataset: GraphOrName, *,
+                                methods: Optional[Sequence[str]] = None,
+                                settings: Optional[ExperimentSettings] = None,
+                                decay: float = 0.6,
+                                grids: Optional[Dict[str, Sequence[float]]] = None
+                                ) -> List[Series]:
+    """Figures 2 and 6: Precision@k vs query time (same sweep, different y column)."""
+    return _run_figure(dataset, methods, settings, decay=decay, grids=grids)
+
+
+def fig_error_vs_preprocessing(dataset: GraphOrName, *,
+                               methods: Optional[Sequence[str]] = None,
+                               settings: Optional[ExperimentSettings] = None,
+                               decay: float = 0.6,
+                               grids: Optional[Dict[str, Sequence[float]]] = None
+                               ) -> List[Series]:
+    """Figures 3 and 7: MaxError vs preprocessing time for the index-based methods."""
+    index_methods = tuple(methods) if methods is not None else ("mc", "prsim", "linearization")
+    return _run_figure(dataset, index_methods, settings, decay=decay, grids=grids)
+
+
+def fig_error_vs_index_size(dataset: GraphOrName, *,
+                            methods: Optional[Sequence[str]] = None,
+                            settings: Optional[ExperimentSettings] = None,
+                            decay: float = 0.6,
+                            grids: Optional[Dict[str, Sequence[float]]] = None
+                            ) -> List[Series]:
+    """Figures 4 and 8: MaxError vs index size for the index-based methods."""
+    index_methods = tuple(methods) if methods is not None else ("mc", "prsim", "linearization")
+    return _run_figure(dataset, index_methods, settings, decay=decay, grids=grids)
+
+
+def fig_ablation_basic_vs_optimized(dataset: GraphOrName, *,
+                                    epsilons: Sequence[float] = (1e-1, 3e-2, 1e-2, 3e-3),
+                                    settings: Optional[ExperimentSettings] = None,
+                                    decay: float = 0.6,
+                                    sample_cap: int = SWEEP_SAMPLE_CAP) -> List[Series]:
+    """Figure 9: Basic vs Optimized ExactSim time/error trade-off."""
+    graph = _resolve_graph(dataset)
+    scale = _dataset_scale(dataset)
+    settings = settings or ExperimentSettings()
+    query_nodes = select_query_nodes(graph, settings.num_queries, seed=settings.seed)
+    truth = ground_truth_provider(graph, scale, decay=decay, seed=settings.seed)
+    dataset_name = dataset if isinstance(dataset, str) else graph.name
+
+    def optimized_factory(epsilon: float) -> SimRankAlgorithm:
+        config = ExactSimConfig(epsilon=float(epsilon), decay=decay, seed=settings.seed,
+                                max_total_samples=sample_cap)
+        return _ExactSimAdapter(graph, config, variant_name="exactsim-optimized")
+
+    def basic_factory(epsilon: float) -> SimRankAlgorithm:
+        config = ExactSimConfig.basic(epsilon=float(epsilon), decay=decay, seed=settings.seed,
+                                      max_total_samples=sample_cap)
+        return _ExactSimAdapter(graph, config, variant_name="exactsim-basic")
+
+    sweeps = [
+        MethodSweep("exactsim-optimized", optimized_factory, epsilons),
+        MethodSweep("exactsim-basic", basic_factory, epsilons),
+    ]
+    return [run_method_sweep(graph, sweep, query_nodes, truth, settings=settings,
+                             dataset_name=dataset_name)
+            for sweep in sweeps]
+
+
+__all__ = [
+    "DEFAULT_GRIDS",
+    "default_method_sweeps",
+    "ground_truth_provider",
+    "fig_error_vs_query_time",
+    "fig_precision_vs_query_time",
+    "fig_error_vs_preprocessing",
+    "fig_error_vs_index_size",
+    "fig_ablation_basic_vs_optimized",
+]

@@ -1,0 +1,179 @@
+"""Experiment harness: parameter sweeps over algorithms, queries and datasets.
+
+The paper's evaluation protocol (§4) is: pick a dataset, pick ~50 query
+nodes, sweep each algorithm's accuracy knob, and record — per sweep point —
+the average query time, preprocessing time, index size, MaxError against the
+ground truth and Precision@500.  A method is dropped from a plot when its
+cost exceeds a time budget (24 hours in the paper; configurable seconds
+here).  This module implements exactly that protocol once, so every figure
+driver is a thin wrapper that chooses the algorithms and the axis to plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import SimRankAlgorithm
+from repro.core.result import SingleSourceResult
+from repro.graph.digraph import DiGraph
+from repro.metrics.accuracy import max_error, precision_at_k
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.timing import Timer
+
+# A ground-truth provider maps a source node to its exact score vector.
+GroundTruth = Callable[[int], np.ndarray]
+# A factory builds an algorithm instance for one sweep-parameter value.
+AlgorithmFactory = Callable[[float], SimRankAlgorithm]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Protocol-level knobs shared by every experiment."""
+
+    num_queries: int = 5
+    top_k: int = 50
+    time_budget_seconds: Optional[float] = 120.0
+    seed: int = 2020
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise ValueError("num_queries must be positive")
+        if self.top_k < 1:
+            raise ValueError("top_k must be positive")
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements of one algorithm at one parameter value."""
+
+    parameter: float
+    query_seconds: float
+    preprocessing_seconds: float
+    index_bytes: int
+    max_error: float
+    precision_at_k: float
+    num_queries: int
+    skipped: bool = False
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "parameter": self.parameter,
+            "query_seconds": self.query_seconds,
+            "preprocessing_seconds": self.preprocessing_seconds,
+            "index_bytes": float(self.index_bytes),
+            "max_error": self.max_error,
+            "precision_at_k": self.precision_at_k,
+            "num_queries": float(self.num_queries),
+            "skipped": float(self.skipped),
+        }
+
+
+@dataclass
+class Series:
+    """One algorithm's curve in a figure: a list of sweep points."""
+
+    algorithm: str
+    dataset: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def xy(self, x_field: str, y_field: str) -> List[tuple]:
+        """Extract an (x, y) polyline, skipping points marked as skipped."""
+        pairs = []
+        for point in self.points:
+            if point.skipped:
+                continue
+            data = point.as_dict()
+            pairs.append((data[x_field], data[y_field]))
+        return pairs
+
+
+@dataclass
+class MethodSweep:
+    """Specification of one algorithm's sweep: a factory plus parameter values."""
+
+    name: str
+    factory: AlgorithmFactory
+    parameters: Sequence[float]
+
+
+def select_query_nodes(graph: DiGraph, count: int, *, seed: SeedLike = None,
+                       require_in_edges: bool = True) -> np.ndarray:
+    """Pick ``count`` distinct query nodes (the paper samples 50 uniformly).
+
+    With ``require_in_edges`` only nodes with at least one in-neighbour are
+    eligible — a source with no in-neighbours has the trivial answer
+    S(i, ·) = e_i and would dilute the error statistics.
+    """
+    rng = ensure_rng(seed)
+    if require_in_edges:
+        eligible = np.flatnonzero(graph.in_degrees > 0)
+    else:
+        eligible = np.arange(graph.num_nodes, dtype=np.int64)
+    if eligible.size == 0:
+        eligible = np.arange(graph.num_nodes, dtype=np.int64)
+    count = min(count, eligible.size)
+    return np.sort(rng.choice(eligible, size=count, replace=False))
+
+
+def _evaluate_point(algorithm: SimRankAlgorithm, query_nodes: Sequence[int],
+                    ground_truth: GroundTruth, top_k: int,
+                    time_budget: Optional[float]) -> SweepPoint:
+    """Run one algorithm instance over all query nodes and aggregate metrics."""
+    preprocessing_timer = Timer()
+    with preprocessing_timer:
+        algorithm.preprocess()
+    if time_budget is not None and preprocessing_timer.elapsed > time_budget:
+        return SweepPoint(parameter=np.nan, query_seconds=np.nan,
+                          preprocessing_seconds=preprocessing_timer.elapsed,
+                          index_bytes=algorithm.index_bytes(), max_error=np.nan,
+                          precision_at_k=np.nan, num_queries=0, skipped=True)
+
+    errors: List[float] = []
+    precisions: List[float] = []
+    query_times: List[float] = []
+    for source in query_nodes:
+        source = int(source)
+        result: SingleSourceResult = algorithm.single_source(source)
+        reference = ground_truth(source)
+        errors.append(max_error(result.scores, reference))
+        precisions.append(precision_at_k(result.scores, reference, top_k, exclude=source))
+        query_times.append(result.query_seconds)
+        if time_budget is not None and sum(query_times) > time_budget:
+            break
+
+    return SweepPoint(parameter=np.nan,
+                      query_seconds=float(np.mean(query_times)) if query_times else np.nan,
+                      preprocessing_seconds=preprocessing_timer.elapsed,
+                      index_bytes=algorithm.index_bytes(),
+                      max_error=float(np.mean(errors)) if errors else np.nan,
+                      precision_at_k=float(np.mean(precisions)) if precisions else np.nan,
+                      num_queries=len(errors))
+
+
+def run_method_sweep(graph: DiGraph, sweep: MethodSweep, query_nodes: Sequence[int],
+                     ground_truth: GroundTruth, *, settings: ExperimentSettings,
+                     dataset_name: str = "") -> Series:
+    """Evaluate one algorithm at every parameter value of its sweep."""
+    series = Series(algorithm=sweep.name, dataset=dataset_name or graph.name)
+    for parameter in sweep.parameters:
+        algorithm = sweep.factory(parameter)
+        point = _evaluate_point(algorithm, query_nodes, ground_truth,
+                                settings.top_k, settings.time_budget_seconds)
+        point.parameter = float(parameter)
+        series.points.append(point)
+    return series
+
+
+__all__ = [
+    "ExperimentSettings",
+    "SweepPoint",
+    "Series",
+    "MethodSweep",
+    "GroundTruth",
+    "AlgorithmFactory",
+    "select_query_nodes",
+    "run_method_sweep",
+]

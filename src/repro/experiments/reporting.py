@@ -1,0 +1,67 @@
+"""Plain-text reporting of experiment output.
+
+The paper presents its evaluation as log-log scatter plots; a library cannot
+assume matplotlib is available, so the drivers print the same data as aligned
+text tables — one row per sweep point, one table per figure — which is what
+the benchmarks and examples emit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.harness import Series
+
+
+def format_rows(rows: Sequence[Mapping[str, object]], *, columns: Optional[Sequence[str]] = None,
+                float_format: str = "{:.4g}") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(str(column)), *(len(line[i]) for line in table))
+              for i, column in enumerate(columns)]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def series_to_rows(series_list: Iterable[Series]) -> List[Dict[str, object]]:
+    """Flatten a list of series into one row per (algorithm, sweep point)."""
+    rows: List[Dict[str, object]] = []
+    for series in series_list:
+        for point in series.points:
+            row: Dict[str, object] = {
+                "dataset": series.dataset,
+                "algorithm": series.algorithm,
+            }
+            row.update(point.as_dict())
+            rows.append(row)
+    return rows
+
+
+def format_series_table(series_list: Iterable[Series], *,
+                        columns: Optional[Sequence[str]] = None) -> str:
+    """Render the sweep points of several series as one aligned table."""
+    default_columns = ["dataset", "algorithm", "parameter", "query_seconds",
+                       "preprocessing_seconds", "index_bytes", "max_error",
+                       "precision_at_k"]
+    return format_rows(series_to_rows(series_list), columns=columns or default_columns)
+
+
+__all__ = ["format_rows", "series_to_rows", "format_series_table"]

@@ -1,0 +1,45 @@
+"""Directed-graph substrate: CSR graphs, generators, IO and dataset registry."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.transition import TransitionOperator, reverse_transition_matrix
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    preferential_attachment_graph,
+    ring_graph,
+    star_graph,
+    complete_graph,
+    bipartite_graph,
+    random_dag,
+    two_community_graph,
+)
+from repro.graph.io import (
+    read_edge_list,
+    write_edge_list,
+    save_npz,
+    load_npz,
+)
+from repro.graph.datasets import DatasetSpec, dataset_names, load_dataset, dataset_table
+
+__all__ = [
+    "DiGraph",
+    "TransitionOperator",
+    "reverse_transition_matrix",
+    "erdos_renyi_graph",
+    "power_law_graph",
+    "preferential_attachment_graph",
+    "ring_graph",
+    "star_graph",
+    "complete_graph",
+    "bipartite_graph",
+    "random_dag",
+    "two_community_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "dataset_table",
+]

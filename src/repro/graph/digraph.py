@@ -1,0 +1,254 @@
+"""Immutable CSR directed graph.
+
+SimRank, the √c-walk and the ℓ-hop Personalized PageRank vectors are all
+defined in terms of *in*-neighbours (a √c-walk moves to a uniformly random
+in-neighbour).  The :class:`DiGraph` therefore stores both adjacency
+directions in compressed-sparse-row form:
+
+* ``in_indptr`` / ``in_indices`` — for node ``v``, its in-neighbours are
+  ``in_indices[in_indptr[v]:in_indptr[v + 1]]``;
+* ``out_indptr`` / ``out_indices`` — the symmetric structure for
+  out-neighbours.
+
+Parallel edges are collapsed and self-loops are kept (the SimRank definition
+handles them through the in-neighbour sums like any other edge), matching the
+conventions of the SNAP datasets the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.utils.validation import check_node_index
+
+
+def _build_csr(sources: np.ndarray, targets: np.ndarray, num_nodes: int
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (indptr, indices) with ``indices`` grouped by ``sources``."""
+    order = np.lexsort((targets, sources))
+    sources = sources[order]
+    targets = targets[order]
+    counts = np.bincount(sources, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, targets.astype(np.int64, copy=False)
+
+
+@dataclass(frozen=True)
+class DiGraph:
+    """A directed graph in dual-CSR form.
+
+    Instances are immutable: all mutating operations return new graphs.  Use
+    :meth:`from_edges` to construct one from an edge list.
+    """
+
+    num_nodes: int
+    in_indptr: np.ndarray
+    in_indices: np.ndarray
+    out_indptr: np.ndarray
+    out_indices: np.ndarray
+    name: str = "graph"
+    directed: bool = True
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]], num_nodes: Optional[int] = None,
+                   *, directed: bool = True, name: str = "graph",
+                   deduplicate: bool = True) -> "DiGraph":
+        """Build a graph from ``(source, target)`` pairs.
+
+        Parameters
+        ----------
+        edges:
+            Iterable of integer pairs.  For ``directed=False`` each pair is
+            added in both directions.
+        num_nodes:
+            Total node count; inferred as ``max node id + 1`` when omitted.
+        deduplicate:
+            Collapse parallel edges (default).  The SimRank definition is
+            stated for simple graphs; duplicates would silently skew the
+            transition probabilities.
+        """
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                                dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise ValueError("edges must be an iterable of (source, target) pairs")
+        if edge_array.size and edge_array.min() < 0:
+            raise ValueError("node ids must be non-negative")
+
+        if not directed and edge_array.size:
+            reversed_edges = edge_array[:, ::-1]
+            edge_array = np.vstack([edge_array, reversed_edges])
+
+        if num_nodes is None:
+            num_nodes = int(edge_array.max()) + 1 if edge_array.size else 0
+        elif edge_array.size and int(edge_array.max()) >= num_nodes:
+            raise ValueError("edge references a node id >= num_nodes")
+
+        if deduplicate and edge_array.size:
+            edge_array = np.unique(edge_array, axis=0)
+
+        sources = edge_array[:, 0]
+        targets = edge_array[:, 1]
+        out_indptr, out_indices = _build_csr(sources, targets, num_nodes)
+        in_indptr, in_indices = _build_csr(targets, sources, num_nodes)
+        return cls(num_nodes=num_nodes,
+                   in_indptr=in_indptr, in_indices=in_indices,
+                   out_indptr=out_indptr, out_indices=out_indices,
+                   name=name, directed=directed)
+
+    @classmethod
+    def empty(cls, num_nodes: int, *, name: str = "empty") -> "DiGraph":
+        """A graph with ``num_nodes`` isolated nodes."""
+        return cls.from_edges([], num_nodes=num_nodes, name=name)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges stored (an undirected edge counts twice)."""
+        return int(self.out_indices.shape[0])
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees (cached)."""
+        return self._degree_cache("_in_degrees", self.in_indptr)
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees (cached)."""
+        return self._degree_cache("_out_degrees", self.out_indptr)
+
+    def _degree_cache(self, attr: str, indptr: np.ndarray) -> np.ndarray:
+        cached = self.__dict__.get(attr)
+        if cached is None:
+            cached = np.diff(indptr).astype(np.int64)
+            object.__setattr__(self, attr, cached)
+        return cached
+
+    def in_degree(self, node: int) -> int:
+        node = check_node_index(node, self.num_nodes)
+        return int(self.in_indptr[node + 1] - self.in_indptr[node])
+
+    def out_degree(self, node: int) -> int:
+        node = check_node_index(node, self.num_nodes)
+        return int(self.out_indptr[node + 1] - self.out_indptr[node])
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """In-neighbours of ``node`` as a read-only array view."""
+        node = check_node_index(node, self.num_nodes)
+        return self.in_indices[self.in_indptr[node]:self.in_indptr[node + 1]]
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Out-neighbours of ``node`` as a read-only array view."""
+        node = check_node_index(node, self.num_nodes)
+        return self.out_indices[self.out_indptr[node]:self.out_indptr[node + 1]]
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """True if the directed edge ``source -> target`` exists."""
+        source = check_node_index(source, self.num_nodes, "source")
+        target = check_node_index(target, self.num_nodes, "target")
+        row = self.out_indices[self.out_indptr[source]:self.out_indptr[source + 1]]
+        position = np.searchsorted(row, target)
+        return bool(position < row.shape[0] and row[position] == target)
+
+    def nodes(self) -> np.ndarray:
+        return np.arange(self.num_nodes, dtype=np.int64)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over directed edges ``(source, target)``."""
+        for source in range(self.num_nodes):
+            for target in self.out_neighbors(source):
+                yield source, int(target)
+
+    def edge_array(self) -> np.ndarray:
+        """All directed edges as an ``(m, 2)`` array."""
+        sources = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.out_degrees)
+        return np.column_stack([sources, self.out_indices])
+
+    # ------------------------------------------------------------------ #
+    # derived structures
+    # ------------------------------------------------------------------ #
+    def dangling_nodes(self) -> np.ndarray:
+        """Nodes with no in-neighbour (a √c-walk starting there stops at once)."""
+        return np.flatnonzero(self.in_degrees == 0)
+
+    def reverse(self) -> "DiGraph":
+        """The graph with every edge reversed."""
+        return DiGraph(num_nodes=self.num_nodes,
+                       in_indptr=self.out_indptr, in_indices=self.out_indices,
+                       out_indptr=self.in_indptr, out_indices=self.in_indices,
+                       name=f"{self.name}-reversed", directed=self.directed)
+
+    def subgraph(self, nodes: Sequence[int], *, name: Optional[str] = None) -> "DiGraph":
+        """Induced subgraph on ``nodes`` with ids relabelled to ``0..len-1``."""
+        node_array = np.asarray(sorted(set(int(v) for v in nodes)), dtype=np.int64)
+        for node in node_array:
+            check_node_index(int(node), self.num_nodes)
+        remap = -np.ones(self.num_nodes, dtype=np.int64)
+        remap[node_array] = np.arange(node_array.shape[0])
+        kept_edges: List[Tuple[int, int]] = []
+        for old_source in node_array:
+            for old_target in self.out_neighbors(int(old_source)):
+                new_target = remap[old_target]
+                if new_target >= 0:
+                    kept_edges.append((int(remap[old_source]), int(new_target)))
+        return DiGraph.from_edges(kept_edges, num_nodes=node_array.shape[0],
+                                  name=name or f"{self.name}-sub")
+
+    def to_scipy_adjacency(self) -> sparse.csr_matrix:
+        """Binary adjacency matrix ``A`` with ``A[i, j] = 1`` iff edge ``i -> j``."""
+        data = np.ones(self.num_edges, dtype=np.float64)
+        return sparse.csr_matrix(
+            (data, self.out_indices, self.out_indptr),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def memory_bytes(self) -> int:
+        """Bytes used by the CSR arrays (the 'graph size' rows of Table 3)."""
+        return int(self.in_indptr.nbytes + self.in_indices.nbytes +
+                   self.out_indptr.nbytes + self.out_indices.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        for attr in ("in_indptr", "in_indices", "out_indptr", "out_indices"):
+            array = np.asarray(getattr(self, attr), dtype=np.int64)
+            array.setflags(write=False)
+            object.__setattr__(self, attr, array)
+        if self.in_indptr.shape[0] != self.num_nodes + 1:
+            raise ValueError("in_indptr length must be num_nodes + 1")
+        if self.out_indptr.shape[0] != self.num_nodes + 1:
+            raise ValueError("out_indptr length must be num_nodes + 1")
+        if self.in_indices.shape[0] != self.out_indices.shape[0]:
+            raise ValueError("in/out adjacency must contain the same number of edges")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        return (f"DiGraph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, {kind})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (self.num_nodes == other.num_nodes
+                and np.array_equal(self.in_indptr, other.in_indptr)
+                and np.array_equal(self.in_indices, other.in_indices)
+                and np.array_equal(self.out_indptr, other.out_indptr)
+                and np.array_equal(self.out_indices, other.out_indices))
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.num_edges, self.name))
+
+
+__all__ = ["DiGraph"]

@@ -1,0 +1,103 @@
+"""Graph serialisation: SNAP-style edge lists and binary ``.npz`` snapshots."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(path: PathLike, *, directed: bool = True, comment: str = "#",
+                   delimiter: Optional[str] = None, name: Optional[str] = None) -> DiGraph:
+    """Read a whitespace- (or ``delimiter``-) separated edge list.
+
+    Lines starting with ``comment`` are skipped, matching the header format of
+    the SNAP datasets referenced in Table 2.  Node ids may be arbitrary
+    non-negative integers; they are compacted to ``0..n-1`` preserving order
+    of first appearance is *not* required, so we keep the numeric ids when
+    they are already dense and remap otherwise.
+    """
+    path = Path(path)
+    sources = []
+    targets = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split(delimiter) if delimiter else line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line in {path}: {line!r}")
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+
+    if not sources:
+        return DiGraph.empty(0, name=name or path.stem)
+
+    source_array = np.asarray(sources, dtype=np.int64)
+    target_array = np.asarray(targets, dtype=np.int64)
+    node_ids = np.union1d(source_array, target_array)
+    max_id = int(node_ids.max())
+    if node_ids.shape[0] == max_id + 1:
+        # Already dense 0..n-1.
+        edges = np.column_stack([source_array, target_array])
+        num_nodes = max_id + 1
+    else:
+        remap = {int(old): new for new, old in enumerate(node_ids)}
+        edges = np.column_stack([
+            np.array([remap[int(v)] for v in source_array], dtype=np.int64),
+            np.array([remap[int(v)] for v in target_array], dtype=np.int64),
+        ])
+        num_nodes = node_ids.shape[0]
+    return DiGraph.from_edges(edges, num_nodes=num_nodes, directed=directed,
+                              name=name or path.stem)
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, *, header: bool = True) -> None:
+    """Write the directed edge list of ``graph`` (one ``source target`` per line)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# {graph.name}: {graph.num_nodes} nodes, "
+                         f"{graph.num_edges} directed edges\n")
+        for source, target in graph.edge_array():
+            handle.write(f"{int(source)}\t{int(target)}\n")
+
+
+def save_npz(graph: DiGraph, path: PathLike) -> None:
+    """Save the dual-CSR arrays of ``graph`` to a compressed ``.npz`` file."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        num_nodes=np.int64(graph.num_nodes),
+        in_indptr=graph.in_indptr,
+        in_indices=graph.in_indices,
+        out_indptr=graph.out_indptr,
+        out_indices=graph.out_indices,
+        directed=np.bool_(graph.directed),
+        name=np.str_(graph.name),
+    )
+
+
+def load_npz(path: PathLike) -> DiGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as payload:
+        return DiGraph(
+            num_nodes=int(payload["num_nodes"]),
+            in_indptr=payload["in_indptr"],
+            in_indices=payload["in_indices"],
+            out_indptr=payload["out_indptr"],
+            out_indices=payload["out_indices"],
+            directed=bool(payload["directed"]),
+            name=str(payload["name"]),
+        )
+
+
+__all__ = ["read_edge_list", "write_edge_list", "save_npz", "load_npz"]

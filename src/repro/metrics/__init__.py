@@ -1,0 +1,23 @@
+"""Evaluation metrics: MaxError, Precision@k and the pooling methodology."""
+
+from repro.metrics.accuracy import (
+    max_error,
+    mean_error,
+    precision_at_k,
+    top_k_nodes,
+    ndcg_at_k,
+    kendall_tau,
+)
+from repro.metrics.pooling import PoolingEvaluation, pooled_ground_truth, pooled_precision
+
+__all__ = [
+    "max_error",
+    "mean_error",
+    "precision_at_k",
+    "top_k_nodes",
+    "ndcg_at_k",
+    "kendall_tau",
+    "PoolingEvaluation",
+    "pooled_ground_truth",
+    "pooled_precision",
+]

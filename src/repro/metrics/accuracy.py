@@ -1,0 +1,123 @@
+"""Accuracy metrics used by the paper's evaluation (§4, "Metrics").
+
+Given a source node, an algorithm's score vector Ŝ(i, ·) and a reference
+(ground-truth) vector S(i, ·):
+
+* **MaxError** — max_j |Ŝ(i, j) − S(i, j)| (Figures 1, 3, 4, 5, 7, 8);
+* **Precision@k** — the fraction of the algorithm's top-k nodes that appear
+  in the ground-truth top-k (Figures 2 and 6; the paper uses k = 500).
+
+NDCG@k and Kendall's tau are provided in addition because they are standard
+top-k quality measures downstream users expect from a SimRank library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+def _as_vectors(estimate: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    estimate = np.asarray(estimate, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if estimate.shape != reference.shape or estimate.ndim != 1:
+        raise ValueError("estimate and reference must be 1-D vectors of equal length")
+    return estimate, reference
+
+
+def max_error(estimate: np.ndarray, reference: np.ndarray, *,
+              exclude: Optional[int] = None) -> float:
+    """max_j |estimate[j] − reference[j]| (optionally ignoring node ``exclude``)."""
+    estimate, reference = _as_vectors(estimate, reference)
+    difference = np.abs(estimate - reference)
+    if exclude is not None and 0 <= exclude < difference.shape[0]:
+        difference[exclude] = 0.0
+    return float(difference.max()) if difference.size else 0.0
+
+
+def mean_error(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """Average absolute error over all nodes."""
+    estimate, reference = _as_vectors(estimate, reference)
+    return float(np.abs(estimate - reference).mean()) if estimate.size else 0.0
+
+
+def top_k_nodes(scores: np.ndarray, k: int, *, exclude: Optional[int] = None) -> np.ndarray:
+    """The k highest-scoring node ids (deterministic tie-break by node id)."""
+    check_positive_int(k, "k")
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    if exclude is not None and 0 <= exclude < scores.shape[0]:
+        scores[exclude] = -np.inf
+    k = min(k, scores.shape[0])
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    return order[:k].astype(np.int64)
+
+
+def precision_at_k(estimated_scores: np.ndarray, reference_scores: np.ndarray, k: int, *,
+                   exclude: Optional[int] = None) -> float:
+    """|top-k(estimate) ∩ top-k(reference)| / k."""
+    check_positive_int(k, "k")
+    estimated = top_k_nodes(estimated_scores, k, exclude=exclude)
+    reference = top_k_nodes(reference_scores, k, exclude=exclude)
+    if reference.shape[0] == 0:
+        return 0.0
+    return len(set(estimated.tolist()) & set(reference.tolist())) / float(reference.shape[0])
+
+
+def ndcg_at_k(estimated_scores: np.ndarray, reference_scores: np.ndarray, k: int, *,
+              exclude: Optional[int] = None) -> float:
+    """Normalised discounted cumulative gain of the estimated top-k ranking."""
+    check_positive_int(k, "k")
+    estimated_order = top_k_nodes(estimated_scores, k, exclude=exclude)
+    ideal_order = top_k_nodes(reference_scores, k, exclude=exclude)
+    reference = np.asarray(reference_scores, dtype=np.float64)
+    discounts = 1.0 / np.log2(np.arange(2, estimated_order.shape[0] + 2))
+    dcg = float(np.sum(reference[estimated_order] * discounts[:estimated_order.shape[0]]))
+    idcg = float(np.sum(reference[ideal_order] * discounts[:ideal_order.shape[0]]))
+    if idcg <= 0.0:
+        return 0.0
+    return dcg / idcg
+
+
+def kendall_tau(estimated_scores: np.ndarray, reference_scores: np.ndarray, k: int, *,
+                exclude: Optional[int] = None) -> float:
+    """Kendall's tau-a between the estimated and reference rankings of the true top-k.
+
+    Computed over the reference top-k nodes: for every pair of those nodes we
+    check whether the estimate orders them the same way as the reference.
+    Returns a value in [−1, 1]; 1 means identical ordering.
+    """
+    check_positive_int(k, "k")
+    nodes = top_k_nodes(reference_scores, k, exclude=exclude)
+    if nodes.shape[0] < 2:
+        return 1.0
+    estimated = np.asarray(estimated_scores, dtype=np.float64)[nodes]
+    reference = np.asarray(reference_scores, dtype=np.float64)[nodes]
+    concordant = 0
+    discordant = 0
+    for first in range(nodes.shape[0]):
+        for second in range(first + 1, nodes.shape[0]):
+            ref_sign = np.sign(reference[first] - reference[second])
+            est_sign = np.sign(estimated[first] - estimated[second])
+            if ref_sign == 0.0 or est_sign == 0.0:
+                continue
+            if ref_sign == est_sign:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / float(total)
+
+
+__all__ = [
+    "max_error",
+    "mean_error",
+    "top_k_nodes",
+    "precision_at_k",
+    "ndcg_at_k",
+    "kendall_tau",
+]

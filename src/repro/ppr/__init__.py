@@ -1,0 +1,21 @@
+"""Personalized-PageRank substrate: ℓ-hop PPR vectors, local push, PageRank."""
+
+from repro.ppr.hop_ppr import (
+    HopPPR,
+    hop_ppr_vectors,
+    hitting_probability_vectors,
+    ppr_vector,
+)
+from repro.ppr.push import forward_push_hop_ppr, PushResult
+from repro.ppr.pagerank import pagerank, personalized_pagerank_power
+
+__all__ = [
+    "HopPPR",
+    "hop_ppr_vectors",
+    "hitting_probability_vectors",
+    "ppr_vector",
+    "forward_push_hop_ppr",
+    "PushResult",
+    "pagerank",
+    "personalized_pagerank_power",
+]

@@ -1,0 +1,172 @@
+"""ℓ-hop Personalized PageRank vectors.
+
+The paper (Table 1) defines the ℓ-hop PPR vector of node ``v_i`` as
+
+    π_i^ℓ = (1 − √c) · (√c P)^ℓ · e_i,
+
+i.e. π_i^ℓ(k) is the probability that a √c-walk from ``v_i`` stops at node
+``v_k`` after exactly ℓ steps.  ExactSim (Algorithm 1, lines 2-5) iterates
+these vectors up to L = ⌈log_{1/c}(2/ε)⌉ and keeps all of them in memory for
+the back-substitution of lines 9-12; the *sparse linearization* optimisation
+(Lemma 2) truncates entries below (1 − √c)²ε to cap that memory at O(1/ε).
+
+This module provides both the dense and the truncated (sparse) form behind a
+single :class:`HopPPR` container so the core algorithm can switch between
+them with a flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.digraph import DiGraph
+from repro.graph.transition import TransitionOperator
+from repro.utils.validation import check_node_index, check_positive, check_positive_int
+
+
+@dataclass
+class HopPPR:
+    """The ℓ-hop PPR vectors of one source node, for ℓ = 0 … L.
+
+    ``hops[ℓ]`` is a 1-D array (dense mode) or a 1-column CSC sparse matrix
+    (sparse mode) of length ``n``.  ``total`` is π_i = Σ_ℓ π_i^ℓ as a dense
+    array, which Algorithm 1 needs for the sample allocation.
+    """
+
+    source: int
+    decay: float
+    num_hops: int
+    hops: List[object]
+    total: np.ndarray
+    truncated: bool = False
+    truncation_threshold: float = 0.0
+
+    def hop_dense(self, level: int) -> np.ndarray:
+        """Hop ``level`` as a dense array regardless of storage mode."""
+        if level < 0 or level > self.num_hops:
+            raise ValueError(f"hop level {level} outside 0..{self.num_hops}")
+        vector = self.hops[level]
+        if isinstance(vector, np.ndarray):
+            return vector
+        return np.asarray(vector.todense()).ravel()
+
+    @property
+    def squared_norm(self) -> float:
+        """‖π_i‖² = Σ_k π_i(k)² — the variance-reduction factor of Lemma 3."""
+        return float(np.dot(self.total, self.total))
+
+    def nonzero_entries(self) -> int:
+        """Total number of stored entries across all hop vectors."""
+        count = 0
+        for vector in self.hops:
+            if isinstance(vector, np.ndarray):
+                count += int(np.count_nonzero(vector))
+            else:
+                count += int(vector.nnz)
+        return count
+
+    def memory_bytes(self) -> int:
+        """Bytes used by the stored hop vectors (dense counts full arrays)."""
+        total = int(self.total.nbytes)
+        for vector in self.hops:
+            if isinstance(vector, np.ndarray):
+                total += int(vector.nbytes)
+            else:
+                total += int(vector.data.nbytes + vector.indices.nbytes + vector.indptr.nbytes)
+        return total
+
+
+def hop_ppr_vectors(graph: DiGraph, source: int, num_hops: int, *, decay: float = 0.6,
+                    truncation_threshold: Optional[float] = None,
+                    operator: Optional[TransitionOperator] = None) -> HopPPR:
+    """Compute π_source^ℓ for ℓ = 0 … ``num_hops``.
+
+    Parameters
+    ----------
+    truncation_threshold:
+        If given, entries of each hop vector strictly below the threshold are
+        dropped and the vectors are stored sparsely (Lemma 2's sparse
+        linearization uses (1 − √c)²ε).  ``None`` keeps dense vectors.
+    operator:
+        Optional pre-built :class:`TransitionOperator` so repeated calls share
+        the cached transition matrix.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    num_hops = check_positive_int(num_hops, "num_hops", minimum=0)
+    if truncation_threshold is not None:
+        check_positive(truncation_threshold, "truncation_threshold")
+
+    ops = operator if operator is not None else TransitionOperator(graph, decay)
+    sqrt_c = ops.sqrt_c
+    residual_factor = 1.0 - sqrt_c
+
+    current = np.zeros(graph.num_nodes, dtype=np.float64)
+    current[source] = 1.0
+
+    hops: List[object] = []
+    total = np.zeros(graph.num_nodes, dtype=np.float64)
+    for _ in range(num_hops + 1):
+        hop_vector = residual_factor * current
+        total += hop_vector
+        if truncation_threshold is None:
+            hops.append(hop_vector)
+        else:
+            kept = hop_vector.copy()
+            kept[kept < truncation_threshold] = 0.0
+            hops.append(sparse.csr_matrix(kept))
+        current = ops.decayed_backward(current)
+
+    return HopPPR(source=source, decay=decay, num_hops=num_hops, hops=hops, total=total,
+                  truncated=truncation_threshold is not None,
+                  truncation_threshold=truncation_threshold or 0.0)
+
+
+def hitting_probability_vectors(graph: DiGraph, source: int, num_hops: int, *,
+                                decay: float = 0.6,
+                                operator: Optional[TransitionOperator] = None
+                                ) -> np.ndarray:
+    """The ℓ-hop hitting-probability vectors h_i^ℓ = (√c P)^ℓ e_i (dense).
+
+    These differ from the ℓ-hop PPR vectors only by the missing (1 − √c)
+    stopping factor (Table 1) and are convenient for validating the walk
+    engine and the PRSim baseline.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    ops = operator if operator is not None else TransitionOperator(graph, decay)
+    current = np.zeros(graph.num_nodes, dtype=np.float64)
+    current[source] = 1.0
+    rows = [current.copy()]
+    for _ in range(num_hops):
+        current = ops.decayed_backward(current)
+        rows.append(current.copy())
+    return np.vstack(rows)
+
+
+def ppr_vector(graph: DiGraph, source: int, *, decay: float = 0.6,
+               tolerance: float = 1e-12, max_hops: int = 200,
+               operator: Optional[TransitionOperator] = None) -> np.ndarray:
+    """The full Personalized PageRank vector π_i = Σ_ℓ π_i^ℓ to high precision.
+
+    Iterates hops until the remaining walk mass (which decays as c^{ℓ/2})
+    drops below ``tolerance``.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    check_positive(tolerance, "tolerance")
+    ops = operator if operator is not None else TransitionOperator(graph, decay)
+    residual_factor = 1.0 - ops.sqrt_c
+    current = np.zeros(graph.num_nodes, dtype=np.float64)
+    current[source] = 1.0
+    total = np.zeros(graph.num_nodes, dtype=np.float64)
+    for _ in range(max_hops):
+        total += residual_factor * current
+        current = ops.decayed_backward(current)
+        if current.sum() < tolerance:
+            break
+    return total
+
+
+__all__ = ["HopPPR", "hop_ppr_vectors", "hitting_probability_vectors", "ppr_vector"]

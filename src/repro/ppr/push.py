@@ -1,0 +1,109 @@
+"""Local (forward) push computation of ℓ-hop PPR vectors.
+
+PRSim precomputes ℓ-hop PPR values π_j^ℓ(k) for target nodes with a *local
+push* algorithm (Andersen-Chung-Lang style) instead of full matrix-vector
+products: mass below a threshold ``r_max`` is never propagated, so the work
+is proportional to the number of entries above the threshold rather than to
+the graph size.  The same primitive powers the ProbeSim-style baseline.
+
+Push operates on the reverse edges (a √c-walk moves to in-neighbours), so a
+node's residual is spread over its in-neighbours weighted by 1/d_in.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import check_node_index, check_positive, check_positive_int
+
+
+@dataclass
+class PushResult:
+    """Sparse ℓ-hop PPR approximation produced by :func:`forward_push_hop_ppr`.
+
+    ``estimates[ℓ]`` maps node → approximate π_source^ℓ(node); every true
+    value is underestimated by at most ``r_max`` (standard push guarantee).
+    ``residuals`` holds the mass that was below threshold and never pushed.
+    """
+
+    source: int
+    decay: float
+    r_max: float
+    estimates: List[Dict[int, float]]
+    residual_mass: float
+    pushed_entries: int
+
+    def hop_dense(self, level: int, num_nodes: int) -> np.ndarray:
+        vector = np.zeros(num_nodes, dtype=np.float64)
+        if 0 <= level < len(self.estimates):
+            for node, value in self.estimates[level].items():
+                vector[node] = value
+        return vector
+
+    def total_dense(self, num_nodes: int) -> np.ndarray:
+        vector = np.zeros(num_nodes, dtype=np.float64)
+        for level_map in self.estimates:
+            for node, value in level_map.items():
+                vector[node] += value
+        return vector
+
+    def memory_bytes(self) -> int:
+        entries = sum(len(level) for level in self.estimates)
+        # keys + values stored as python floats/ints ≈ 16 bytes of payload each.
+        return entries * 16
+
+
+def forward_push_hop_ppr(graph: DiGraph, source: int, num_hops: int, r_max: float, *,
+                         decay: float = 0.6) -> PushResult:
+    """Compute truncated ℓ-hop PPR vectors of ``source`` by local push.
+
+    Residual mass ``r^ℓ(v)`` is maintained per (hop, node).  A push at hop ℓ
+    converts the residual into an estimate contribution of (1 − √c)·r and
+    forwards √c·r/d_in(v) of residual to each in-neighbour at hop ℓ+1.
+    Residuals below ``r_max`` are dropped (their total is reported as
+    ``residual_mass``), bounding the error of every estimated entry by the
+    accumulated dropped mass ≤ r_max per entry in the usual push analysis.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    num_hops = check_positive_int(num_hops, "num_hops", minimum=0)
+    check_positive(r_max, "r_max")
+
+    sqrt_c = float(np.sqrt(decay))
+    stop_probability = 1.0 - sqrt_c
+
+    estimates: List[Dict[int, float]] = [defaultdict(float) for _ in range(num_hops + 1)]
+    residual: Dict[int, float] = {source: 1.0}
+    dropped_mass = 0.0
+    pushed_entries = 0
+
+    for level in range(num_hops + 1):
+        next_residual: Dict[int, float] = defaultdict(float)
+        for node, mass in residual.items():
+            if mass < r_max:
+                dropped_mass += mass
+                continue
+            estimates[level][node] += stop_probability * mass
+            pushed_entries += 1
+            if level == num_hops:
+                continue
+            neighbors = graph.in_neighbors(node)
+            degree = neighbors.shape[0]
+            if degree == 0:
+                continue
+            share = sqrt_c * mass / degree
+            for neighbor in neighbors:
+                next_residual[int(neighbor)] += share
+        residual = next_residual
+
+    dropped_mass += sum(residual.values())
+    return PushResult(source=source, decay=decay, r_max=r_max,
+                      estimates=[dict(level) for level in estimates],
+                      residual_mass=dropped_mass, pushed_entries=pushed_entries)
+
+
+__all__ = ["PushResult", "forward_push_hop_ppr"]

@@ -1,0 +1,16 @@
+"""Vectorised √c-walk simulation and meeting-probability estimation."""
+
+from repro.randomwalk.engine import SqrtCWalkEngine, WalkBatch
+from repro.randomwalk.meeting import (
+    estimate_meeting_probability,
+    estimate_diagonal_entry,
+    estimate_tail_meeting_probability,
+)
+
+__all__ = [
+    "SqrtCWalkEngine",
+    "WalkBatch",
+    "estimate_meeting_probability",
+    "estimate_diagonal_entry",
+    "estimate_tail_meeting_probability",
+]

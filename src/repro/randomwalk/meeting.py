@@ -1,0 +1,109 @@
+"""Monte-Carlo estimators built on the √c-walk engine.
+
+These implement the sampling primitives of the paper:
+
+* :func:`estimate_meeting_probability` — eq. (2): S(i, j) is the probability
+  that two √c-walks from i and j meet (same node, same step).
+* :func:`estimate_diagonal_entry` — Algorithm 2: the fraction of walk pairs
+  from node k that *never* meet estimates D(k, k).
+* :func:`estimate_tail_meeting_probability` — the tail estimator used by the
+  improved Algorithm 3: walks run a non-stop prefix of ``skip_steps`` steps,
+  then behave as fresh √c-walks; the fraction of pairs that meet *after* the
+  prefix, multiplied by ``c^skip_steps``, estimates Σ_{ℓ>ℓ(k)} Z_ℓ(k).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.randomwalk.engine import SqrtCWalkEngine
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_node_index, check_positive_int
+
+
+def estimate_meeting_probability(graph: DiGraph, source: int, target: int,
+                                 num_pairs: int, *, decay: float = 0.6,
+                                 max_steps: int = 64, seed: SeedLike = None) -> float:
+    """Monte-Carlo estimate of S(source, target) via eq. (2).
+
+    Two √c-walks, one from each node, are simulated ``num_pairs`` times; the
+    fraction of pairs that visit the same node at the same step (counting the
+    trivial step-0 meeting when ``source == target``) estimates the SimRank
+    value.
+    """
+    source = check_node_index(source, graph.num_nodes, "source")
+    target = check_node_index(target, graph.num_nodes, "target")
+    num_pairs = check_positive_int(num_pairs, "num_pairs")
+    if source == target:
+        return 1.0
+
+    engine = SqrtCWalkEngine(graph, decay, seed=seed)
+    first = np.full(num_pairs, source, dtype=np.int64)
+    second = np.full(num_pairs, target, dtype=np.int64)
+    met = np.zeros(num_pairs, dtype=bool)
+    for _ in range(max_steps):
+        active = (first >= 0) & (second >= 0) & ~met
+        if not active.any():
+            break
+        survive_first = engine.rng.random(num_pairs) < engine.sqrt_c
+        survive_second = engine.rng.random(num_pairs) < engine.sqrt_c
+        first = engine._advance(first, survive_first)
+        second = engine._advance(second, survive_second)
+        met |= (first >= 0) & (first == second)
+    return float(met.mean())
+
+
+def estimate_diagonal_entry(graph: DiGraph, node: int, num_pairs: int, *,
+                            decay: float = 0.6, max_steps: int = 64,
+                            seed: SeedLike = None,
+                            engine: Optional[SqrtCWalkEngine] = None) -> float:
+    """Algorithm 2: estimate D(node, node) with ``num_pairs`` pairs of √c-walks.
+
+    D(k, k) = 1 − Pr[two √c-walks from k meet at some step ≥ 1]; the estimator
+    is the fraction of simulated pairs that never meet.  The two degenerate
+    cases of Algorithm 3 are handled exactly: D = 1 when the node has no
+    in-neighbour and D = 1 − c when it has exactly one (the two walks move
+    together with probability c and then meet immediately).
+    """
+    node = check_node_index(node, graph.num_nodes)
+    in_degree = graph.in_degree(node)
+    if in_degree == 0:
+        return 1.0
+    if in_degree == 1:
+        return 1.0 - decay
+    num_pairs = check_positive_int(num_pairs, "num_pairs")
+    walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
+    met = walker.pair_walks_meet(node, num_pairs, max_steps=max_steps)
+    return float(1.0 - met.mean())
+
+
+def estimate_tail_meeting_probability(graph: DiGraph, node: int, num_pairs: int,
+                                      skip_steps: int, *, decay: float = 0.6,
+                                      max_steps: int = 64, seed: SeedLike = None,
+                                      engine: Optional[SqrtCWalkEngine] = None) -> float:
+    """Estimate Σ_{ℓ > skip_steps} Z_ℓ(node) for Algorithm 3.
+
+    The pair of special walks does not flip the stopping coin during the first
+    ``skip_steps`` steps; afterwards both behave as ordinary √c-walks.  The
+    probability that such a pair meets after the prefix equals
+    (1 / c^skip_steps) · Σ_{ℓ > skip_steps} Z_ℓ(node), so the Monte-Carlo
+    fraction is scaled back by ``c^skip_steps``.
+    """
+    node = check_node_index(node, graph.num_nodes)
+    num_pairs = check_positive_int(num_pairs, "num_pairs")
+    if skip_steps < 0:
+        raise ValueError("skip_steps must be non-negative")
+    walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
+    met = walker.pair_walks_meet(node, num_pairs, max_steps=max_steps,
+                                 skip_steps=skip_steps)
+    return float((decay ** skip_steps) * met.mean())
+
+
+__all__ = [
+    "estimate_meeting_probability",
+    "estimate_diagonal_entry",
+    "estimate_tail_meeting_probability",
+]

@@ -1,0 +1,34 @@
+"""Shared utilities: RNG management, timing, memory accounting, validation.
+
+These helpers are deliberately dependency-light so every other subpackage can
+import them without creating cycles.
+"""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.memory import nbytes_of, format_bytes, MemoryTracker
+from repro.utils.validation import (
+    check_probability,
+    check_positive,
+    check_non_negative,
+    check_node_index,
+    check_vector_length,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "nbytes_of",
+    "format_bytes",
+    "MemoryTracker",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_node_index",
+    "check_vector_length",
+    "get_logger",
+]

@@ -1,0 +1,47 @@
+"""Lightweight logging configuration for the library and its benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_LIBRARY_LOGGER_NAME = "repro"
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a child logger under the library namespace.
+
+    ``get_logger("exactsim")`` returns the logger ``repro.exactsim``.  The
+    root library logger is left unconfigured (NullHandler) so applications
+    embedding the library control their own output; benchmarks and examples
+    call :func:`configure_logging` to get console output.
+    """
+    root = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+    if name is None:
+        return root
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return root.getChild(name)
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a console handler to the library logger (idempotent)."""
+    root = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    root.setLevel(level)
+    target = stream if stream is not None else sys.stderr
+    has_stream = any(
+        isinstance(handler, logging.StreamHandler) and getattr(handler, "stream", None) is target
+        for handler in root.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler(target)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    return root
+
+
+__all__ = ["get_logger", "configure_logging"]

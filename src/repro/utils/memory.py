@@ -1,0 +1,85 @@
+"""Memory accounting helpers.
+
+The paper's Table 3 reports the *extra* memory used by Basic and Optimized
+ExactSim next to the on-disk graph size.  We reproduce those rows by summing
+the byte footprint of the index structures an algorithm keeps alive, which
+``nbytes_of`` computes for the container types used throughout the library
+(NumPy arrays, SciPy sparse matrices, dicts/lists of those, dataclass-like
+objects exposing ``memory_bytes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping
+
+import numpy as np
+from scipy import sparse
+
+
+def nbytes_of(obj: Any) -> int:
+    """Best-effort deep byte footprint of ``obj``.
+
+    Supports NumPy arrays, SciPy sparse matrices, mappings, and iterables of
+    those.  Scalars and small Python objects are counted as zero because the
+    experiment only cares about bulk numerical storage.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if sparse.issparse(obj):
+        total = 0
+        for attr in ("data", "indices", "indptr", "row", "col", "offsets"):
+            part = getattr(obj, attr, None)
+            if isinstance(part, np.ndarray):
+                total += int(part.nbytes)
+        return total
+    if hasattr(obj, "memory_bytes"):
+        value = obj.memory_bytes
+        return int(value() if callable(value) else value)
+    if isinstance(obj, Mapping):
+        return sum(nbytes_of(v) for v in obj.values())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(nbytes_of(v) for v in obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    return 0
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human readable byte count (``1536`` → ``'1.50 KiB'``)."""
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024.0 or unit == "TiB":
+            return f"{size:.2f} {unit}"
+        size /= 1024.0
+    return f"{size:.2f} TiB"
+
+
+@dataclass
+class MemoryTracker:
+    """Accumulates named memory contributions for one algorithm run."""
+
+    parts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, obj: Any) -> int:
+        """Record ``obj`` under ``name`` and return its footprint."""
+        size = nbytes_of(obj)
+        self.parts[name] = self.parts.get(name, 0) + size
+        return size
+
+    def add_bytes(self, name: str, num_bytes: int) -> None:
+        self.parts[name] = self.parts.get(name, 0) + int(num_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.parts.values())
+
+    def summary(self) -> Dict[str, str]:
+        report = {name: format_bytes(size) for name, size in sorted(self.parts.items())}
+        report["total"] = format_bytes(self.total_bytes)
+        return report
+
+
+__all__ = ["nbytes_of", "format_bytes", "MemoryTracker"]

@@ -1,0 +1,68 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  The
+``ensure_rng`` helper normalises these three cases so call sites never have to
+repeat the boilerplate, and ``spawn_rngs`` derives independent child
+generators for parallel or per-node work in a reproducible way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+# Public alias so callers can type-annotate without importing numpy.random.
+RandomState = np.random.Generator
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (operating-system entropy), an ``int`` seed, an existing
+        ``Generator`` (returned unchanged), or a ``SeedSequence``.
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a random generator from {type(seed).__name__}")
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    The children are derived through ``SeedSequence.spawn`` so that the same
+    parent seed always produces the same family of child streams, which keeps
+    multi-stream experiments reproducible.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        # Derive a seed sequence from the generator's bit stream.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def random_seed_from(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from an existing generator."""
+    return int(rng.integers(0, 2**63 - 1))
+
+
+__all__ = ["RandomState", "SeedLike", "ensure_rng", "spawn_rngs", "random_seed_from"]

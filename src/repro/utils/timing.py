@@ -1,0 +1,85 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """A tiny accumulating stopwatch.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     sum(range(1000))
+    499500
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: List[float] = field(default_factory=list)
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError("timer already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps = []
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def last_lap(self) -> float:
+        if not self.laps:
+            raise ValueError("timer has no completed laps")
+        return self.laps[-1]
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def timed(func: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@contextmanager
+def record_time(store: Dict[str, float], key: str) -> Iterator[None]:
+    """Context manager adding the elapsed seconds of the block to ``store[key]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        store[key] = store.get(key, 0.0) + (time.perf_counter() - start)
+
+
+__all__ = ["Timer", "timed", "record_time"]

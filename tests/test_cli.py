@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import preferential_attachment_graph
+from repro.graph.io import write_edge_list
+
+
+class TestDatasetsCommand:
+    def test_lists_all_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for key in ("GQ", "HT", "WV", "HP", "DB", "IC", "IT", "TW"):
+            assert key in output
+
+
+class TestQueryCommand:
+    def test_query_on_registered_dataset(self, capsys):
+        code = main(["query", "--dataset", "GQ", "--source", "3",
+                     "--epsilon", "1e-2", "--top-k", "5", "--seed", "1",
+                     "--max-samples", "20000"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "exactsim" in output
+        assert "simrank" in output
+
+    def test_query_basic_variant(self, capsys):
+        code = main(["query", "--dataset", "GQ", "--source", "3", "--basic",
+                     "--epsilon", "5e-2", "--seed", "1", "--max-samples", "10000"])
+        assert code == 0
+        assert "exactsim-basic" in capsys.readouterr().out
+
+    def test_query_on_edge_list_file(self, tmp_path, capsys):
+        graph = preferential_attachment_graph(60, 2, directed=False, seed=2)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        code = main(["query", "--edge-list", str(path), "--source", "0",
+                     "--epsilon", "5e-2", "--seed", "1", "--max-samples", "10000"])
+        assert code == 0
+
+    def test_query_source_out_of_range(self, capsys):
+        code = main(["query", "--dataset", "GQ", "--source", "99999999",
+                     "--epsilon", "1e-1"])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_missing_required_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--source", "0"])
+
+
+class TestExperimentCommand:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "paper_n" in capsys.readouterr().out
+
+    def test_fig1_small_run(self, capsys):
+        code = main(["experiment", "fig1", "--dataset", "GQ", "--queries", "1",
+                     "--top-k", "10"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "exactsim" in output and "max_error" in output
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig42"])

@@ -1,0 +1,197 @@
+"""Tests for the experiment harness and the figure/table drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import (
+    ablation_diagonal_estimators,
+    ablation_sampling_allocation,
+    ablation_sparse_linearization,
+)
+from repro.experiments.figures import (
+    DEFAULT_GRIDS,
+    default_method_sweeps,
+    fig_ablation_basic_vs_optimized,
+    fig_error_vs_index_size,
+    fig_error_vs_preprocessing,
+    fig_error_vs_query_time,
+    ground_truth_provider,
+)
+from repro.experiments.harness import (
+    ExperimentSettings,
+    MethodSweep,
+    Series,
+    SweepPoint,
+    run_method_sweep,
+    select_query_nodes,
+)
+from repro.experiments.reporting import format_rows, format_series_table, series_to_rows
+from repro.experiments.tables import table_dataset_statistics, table_memory_overhead
+from repro.baselines.parsim import ParSim
+
+FAST_SETTINGS = ExperimentSettings(num_queries=2, top_k=10, time_budget_seconds=60, seed=5)
+TINY_GRIDS = {
+    "exactsim": (1e-1, 1e-2),
+    "mc": (10,),
+    "parsim": (3, 8),
+    "linearization": (20,),
+    "prsim": (1e-1,),
+}
+
+
+class TestHarness:
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(num_queries=0)
+        with pytest.raises(ValueError):
+            ExperimentSettings(top_k=0)
+
+    def test_select_query_nodes_deterministic(self, collab_graph):
+        first = select_query_nodes(collab_graph, 5, seed=3)
+        second = select_query_nodes(collab_graph, 5, seed=3)
+        assert np.array_equal(first, second)
+        assert len(set(first.tolist())) == 5
+
+    def test_select_query_nodes_require_in_edges(self, toy_graph):
+        nodes = select_query_nodes(toy_graph, 3, seed=1, require_in_edges=True)
+        assert 0 not in nodes.tolist()      # node 0 is dangling
+
+    def test_select_query_nodes_caps_at_population(self, toy_graph):
+        nodes = select_query_nodes(toy_graph, 100, seed=1)
+        assert nodes.size <= toy_graph.num_nodes
+
+    def test_run_method_sweep_produces_points(self, collab_graph, collab_simrank):
+        sweep = MethodSweep("parsim", lambda L: ParSim(collab_graph, iterations=int(L)), (3, 6))
+        series = run_method_sweep(collab_graph, sweep, [1, 2],
+                                  lambda source: collab_simrank[source],
+                                  settings=FAST_SETTINGS, dataset_name="collab")
+        assert isinstance(series, Series)
+        assert len(series.points) == 2
+        for point in series.points:
+            assert point.num_queries == 2
+            assert point.max_error >= 0.0
+            assert 0.0 <= point.precision_at_k <= 1.0
+            assert point.query_seconds > 0.0
+
+    def test_series_xy_skips_skipped_points(self):
+        series = Series(algorithm="x", dataset="d", points=[
+            SweepPoint(1.0, 0.1, 0.0, 0, 0.5, 1.0, 2),
+            SweepPoint(2.0, np.nan, 0.0, 0, np.nan, np.nan, 0, skipped=True),
+        ])
+        assert len(series.xy("query_seconds", "max_error")) == 1
+
+    def test_time_budget_skips_expensive_preprocessing(self, collab_graph, collab_simrank):
+        """A method whose preprocessing exceeds the budget is marked skipped."""
+        from repro.baselines.monte_carlo import MonteCarloSimRank
+        strict = ExperimentSettings(num_queries=1, top_k=5, time_budget_seconds=1e-9, seed=1)
+        sweep = MethodSweep("mc", lambda walks: MonteCarloSimRank(
+            collab_graph, walks_per_node=int(walks), walk_length=5, seed=1), (10,))
+        series = run_method_sweep(collab_graph, sweep, [1],
+                                  lambda source: collab_simrank[source], settings=strict)
+        assert series.points[0].skipped
+
+
+class TestGroundTruthProvider:
+    def test_small_scale_uses_power_method(self, collab_graph, collab_simrank):
+        truth = ground_truth_provider(collab_graph, "small")
+        assert np.allclose(truth(3), collab_simrank[3])
+
+    def test_large_scale_uses_exactsim_and_caches(self, collab_graph, collab_simrank):
+        truth = ground_truth_provider(collab_graph, "large", seed=3)
+        scores = truth(4)
+        assert np.max(np.abs(scores - collab_simrank[4])) < 1e-2
+        assert truth(4) is scores          # cached
+
+
+class TestFigureDrivers:
+    def test_default_sweeps_cover_five_methods(self, collab_graph):
+        sweeps = default_method_sweeps(collab_graph)
+        assert set(sweeps) == set(DEFAULT_GRIDS)
+
+    def test_fig_error_vs_query_time(self, collab_graph):
+        series = fig_error_vs_query_time(collab_graph, methods=["exactsim", "parsim"],
+                                         settings=FAST_SETTINGS, grids=TINY_GRIDS)
+        names = {entry.algorithm for entry in series}
+        assert names == {"exactsim", "parsim"}
+        exact_series = next(entry for entry in series if entry.algorithm == "exactsim")
+        # ExactSim's finest point should beat ParSim's best error (the paper's headline).
+        parsim_series = next(entry for entry in series if entry.algorithm == "parsim")
+        assert min(p.max_error for p in exact_series.points) <= \
+            min(p.max_error for p in parsim_series.points)
+
+    def test_fig_preprocessing_defaults_to_index_methods(self, collab_graph):
+        series = fig_error_vs_preprocessing(collab_graph, settings=FAST_SETTINGS,
+                                            grids=TINY_GRIDS)
+        assert {entry.algorithm for entry in series} == {"mc", "prsim", "linearization"}
+        for entry in series:
+            for point in entry.points:
+                if not point.skipped:
+                    assert point.preprocessing_seconds > 0.0
+
+    def test_fig_index_size_reports_bytes(self, collab_graph):
+        series = fig_error_vs_index_size(collab_graph, methods=["mc"],
+                                         settings=FAST_SETTINGS, grids=TINY_GRIDS)
+        assert all(point.index_bytes > 0 for entry in series for point in entry.points
+                   if not point.skipped)
+
+    def test_fig_ablation_returns_two_series(self, collab_graph):
+        series = fig_ablation_basic_vs_optimized(collab_graph, epsilons=(1e-1, 1e-2),
+                                                 settings=FAST_SETTINGS, sample_cap=20_000)
+        assert {entry.algorithm for entry in series} == {"exactsim-basic", "exactsim-optimized"}
+        assert all(len(entry.points) == 2 for entry in series)
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = table_dataset_statistics(include_generated_sizes=False)
+        assert len(rows) == 8
+
+    def test_table3_memory_overhead(self, collab_graph):
+        rows = table_memory_overhead([collab_graph], epsilon=1e-2, sample_cap=20_000)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["basic_bytes"] > 0
+        assert row["optimized_bytes"] > 0
+        # The whole point of sparse linearization: optimized uses less memory.
+        assert row["optimized_bytes"] <= row["basic_bytes"]
+        assert row["reduction_factor"] >= 1.0
+
+
+class TestAblations:
+    def test_sampling_ablation(self, collab_graph):
+        rows = ablation_sampling_allocation(collab_graph, epsilon=1e-2, sample_cap=20_000,
+                                            num_queries=1, seed=3)
+        labels = {row["allocation"] for row in rows}
+        assert labels == {"proportional", "squared"}
+        assert all(row["max_error"] < 0.05 for row in rows)
+
+    def test_diagonal_ablation(self, collab_graph):
+        rows = ablation_diagonal_estimators(collab_graph, epsilon=1e-2, sample_cap=20_000,
+                                            num_queries=1, seed=3)
+        assert {row["diagonal_estimator"] for row in rows} == {"algorithm-2", "algorithm-3"}
+
+    def test_sparse_ablation_reduces_memory(self, collab_graph):
+        rows = ablation_sparse_linearization(collab_graph, epsilon=1e-2, sample_cap=20_000,
+                                             num_queries=1, seed=3)
+        by_label = {row["linearization"]: row for row in rows}
+        assert by_label["sparse"]["extra_memory_bytes"] <= \
+            by_label["dense"]["extra_memory_bytes"]
+
+
+class TestReporting:
+    def test_format_rows_alignment(self):
+        text = format_rows([{"a": 1, "b": 0.5}, {"a": 20, "b": 0.25}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_series_to_rows_and_table(self):
+        series = Series(algorithm="alg", dataset="d", points=[
+            SweepPoint(1.0, 0.1, 0.2, 10, 0.01, 0.9, 3)])
+        rows = series_to_rows([series])
+        assert rows[0]["algorithm"] == "alg"
+        text = format_series_table([series])
+        assert "alg" in text and "max_error" in text

@@ -1,0 +1,74 @@
+"""Tests for CSV export and ASCII scatter rendering of experiment series."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import ascii_scatter, series_to_csv
+from repro.experiments.harness import Series, SweepPoint
+
+
+def _sample_series():
+    fast = Series(algorithm="exactsim", dataset="GQ", points=[
+        SweepPoint(1e-1, 0.1, 0.0, 0, 1e-2, 0.9, 3),
+        SweepPoint(1e-2, 0.2, 0.0, 0, 1e-3, 1.0, 3),
+    ])
+    slow = Series(algorithm="mc", dataset="GQ", points=[
+        SweepPoint(10, 0.01, 0.5, 1000, 1e-1, 0.4, 3),
+        SweepPoint(100, 0.05, 2.0, 10000, 5e-2, 0.6, 3, skipped=False),
+    ])
+    return [fast, slow]
+
+
+class TestCsvExport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "fig1.csv"
+        count = series_to_csv(_sample_series(), path)
+        assert count == 4
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0]["algorithm"] == "exactsim"
+        assert float(rows[1]["max_error"]) == pytest.approx(1e-3)
+
+    def test_custom_columns(self, tmp_path):
+        path = tmp_path / "narrow.csv"
+        series_to_csv(_sample_series(), path, columns=["algorithm", "max_error"])
+        header = path.read_text().splitlines()[0]
+        assert header == "algorithm,max_error"
+
+    def test_empty_series(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert series_to_csv([], path) == 0
+        assert path.read_text().startswith("dataset,")
+
+
+class TestAsciiScatter:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_scatter(_sample_series(), title="Figure 1 (GQ)")
+        assert "Figure 1 (GQ)" in plot
+        assert "legend:" in plot
+        assert "o=exactsim" in plot and "x=mc" in plot
+        # Both series' markers appear somewhere in the grid.
+        assert "o" in plot and "x" in plot
+
+    def test_axis_ranges_reported(self):
+        plot = ascii_scatter(_sample_series())
+        assert "query_seconds" in plot and "max_error" in plot
+        assert "log scale" in plot
+
+    def test_skips_non_positive_values(self):
+        series = Series(algorithm="zero", dataset="d", points=[
+            SweepPoint(1.0, 0.0, 0.0, 0, 0.0, 0.0, 1)])
+        plot = ascii_scatter([series])
+        assert "(no plottable points)" in plot
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(_sample_series(), width=5)
+
+    def test_custom_fields(self):
+        plot = ascii_scatter(_sample_series(), x_field="index_bytes",
+                             y_field="precision_at_k")
+        assert "index_bytes" in plot and "precision_at_k" in plot

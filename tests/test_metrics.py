@@ -1,0 +1,138 @@
+"""Unit tests for the accuracy metrics and the pooling methodology."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import TopKResult
+from repro.metrics.accuracy import (
+    kendall_tau,
+    max_error,
+    mean_error,
+    ndcg_at_k,
+    precision_at_k,
+    top_k_nodes,
+)
+from repro.metrics.pooling import (
+    monte_carlo_oracle,
+    pooled_ground_truth,
+    pooled_precision,
+)
+
+DECAY = 0.6
+
+
+class TestErrorMetrics:
+    def test_max_error_basic(self):
+        assert max_error(np.array([0.1, 0.5]), np.array([0.2, 0.5])) == pytest.approx(0.1)
+
+    def test_max_error_exclude(self):
+        estimate = np.array([0.0, 0.5, 0.9])
+        reference = np.array([1.0, 0.5, 0.9])
+        assert max_error(estimate, reference) == 1.0
+        assert max_error(estimate, reference, exclude=0) == 0.0
+
+    def test_max_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_error(np.zeros(3), np.zeros(4))
+
+    def test_mean_error(self):
+        assert mean_error(np.array([0.0, 1.0]), np.array([1.0, 1.0])) == pytest.approx(0.5)
+
+    def test_zero_length_vectors(self):
+        assert max_error(np.zeros(0), np.zeros(0)) == 0.0
+        assert mean_error(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestTopKMetrics:
+    def setup_method(self):
+        self.reference = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.1])
+
+    def test_top_k_nodes_order(self):
+        assert top_k_nodes(self.reference, 3).tolist() == [0, 1, 2]
+
+    def test_top_k_nodes_tie_break_by_id(self):
+        scores = np.array([0.5, 0.5, 0.9])
+        assert top_k_nodes(scores, 2).tolist() == [2, 0]
+
+    def test_top_k_exclude(self):
+        assert 0 not in top_k_nodes(self.reference, 3, exclude=0).tolist()
+
+    def test_precision_perfect(self):
+        assert precision_at_k(self.reference, self.reference, 4) == 1.0
+
+    def test_precision_partial(self):
+        estimate = np.array([0.9, 0.1, 0.7, 0.6, 0.8, 0.5])
+        # top-2(estimate) = {0, 4}; top-2(reference) = {0, 1} -> overlap 1/2.
+        assert precision_at_k(estimate, self.reference, 2) == 0.5
+
+    def test_precision_k_larger_than_n(self):
+        assert precision_at_k(self.reference, self.reference, 100) == 1.0
+
+    def test_ndcg_perfect_and_worst(self):
+        assert ndcg_at_k(self.reference, self.reference, 4) == pytest.approx(1.0)
+        reversed_scores = self.reference[::-1].copy()
+        assert ndcg_at_k(reversed_scores, self.reference, 4) < 1.0
+
+    def test_ndcg_zero_reference(self):
+        assert ndcg_at_k(np.zeros(4), np.zeros(4), 2) == 0.0
+
+    def test_kendall_tau_identical(self):
+        assert kendall_tau(self.reference, self.reference, 5) == 1.0
+
+    def test_kendall_tau_reversed(self):
+        assert kendall_tau(-self.reference, self.reference, 5) == -1.0
+
+    def test_kendall_tau_single_node(self):
+        assert kendall_tau(np.array([1.0]), np.array([1.0]), 1) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(self.reference, self.reference, 0)
+
+
+class TestPooling:
+    def test_pooled_ground_truth_ranks_by_oracle(self):
+        oracle = lambda source, node: {1: 0.9, 2: 0.1, 3: 0.5}[node]
+        evaluation = pooled_ground_truth(0, [[1, 2], [3, 2]], k=2, oracle=oracle)
+        assert evaluation.pooled_nodes.tolist()[:2] == [1, 3]
+        assert evaluation.pooled_top_k().k == 2
+
+    def test_pool_removes_duplicates_and_source(self):
+        oracle = lambda source, node: 1.0
+        evaluation = pooled_ground_truth(7, [[7, 1, 2], [2, 3]], k=3, oracle=oracle)
+        assert 7 not in evaluation.pooled_nodes.tolist()
+        assert sorted(evaluation.pooled_nodes.tolist()) == [1, 2, 3]
+
+    def test_empty_pool(self):
+        evaluation = pooled_ground_truth(0, [[], []], k=3, oracle=lambda s, n: 1.0)
+        assert evaluation.pooled_nodes.size == 0
+
+    def test_pooled_precision_scores_algorithms(self):
+        oracle = lambda source, node: {1: 0.9, 2: 0.8, 3: 0.2, 4: 0.1}[node]
+        good = TopKResult(source=0, nodes=np.array([1, 2]), scores=np.array([0.9, 0.8]),
+                          algorithm="good")
+        bad = TopKResult(source=0, nodes=np.array([3, 4]), scores=np.array([0.7, 0.6]),
+                         algorithm="bad")
+        evaluation = pooled_precision(0, {"good": good, "bad": bad}, k=2, oracle=oracle)
+        assert evaluation.precisions["good"] == 1.0
+        assert evaluation.precisions["bad"] == 0.0
+
+    def test_monte_carlo_oracle_consistency(self, collab_graph, collab_simrank):
+        oracle = monte_carlo_oracle(collab_graph, decay=DECAY, num_pairs=4000, seed=1)
+        estimate = oracle(3, 8)
+        assert estimate == pytest.approx(collab_simrank[3, 8], abs=0.05)
+
+    def test_pooling_end_to_end_with_real_algorithms(self, collab_graph, collab_simrank):
+        """Pooling ranks the exact top-k provider at precision 1."""
+        truth_nodes = np.argsort(-collab_simrank[5])
+        truth_nodes = truth_nodes[truth_nodes != 5][:5]
+        exact_result = TopKResult(source=5, nodes=truth_nodes,
+                                  scores=collab_simrank[5][truth_nodes], algorithm="exact")
+        noisy_nodes = np.array(truth_nodes.tolist()[:3] + [70, 80])
+        noisy_result = TopKResult(source=5, nodes=noisy_nodes,
+                                  scores=collab_simrank[5][noisy_nodes], algorithm="noisy")
+        oracle = lambda source, node: float(collab_simrank[source, node])
+        evaluation = pooled_precision(5, {"exact": exact_result, "noisy": noisy_result},
+                                      k=5, oracle=oracle)
+        assert evaluation.precisions["exact"] == 1.0
+        assert evaluation.precisions["noisy"] <= evaluation.precisions["exact"]

@@ -1,0 +1,58 @@
+"""Tests for the SLING baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sling import SLING
+from repro.metrics.accuracy import max_error, precision_at_k
+
+DECAY = 0.6
+
+
+class TestSLING:
+    def test_accuracy_against_power_method(self, collab_graph, collab_simrank):
+        algorithm = SLING(collab_graph, decay=DECAY, epsilon=1e-2, seed=3)
+        result = algorithm.single_source(6)
+        assert max_error(result.scores, collab_simrank[6], exclude=6) < 0.05
+
+    def test_error_shrinks_with_epsilon(self, collab_graph, collab_simrank):
+        source = 10
+        coarse = SLING(collab_graph, decay=DECAY, epsilon=1e-1, seed=5)
+        fine = SLING(collab_graph, decay=DECAY, epsilon=1e-3, seed=5)
+        coarse_error = max_error(coarse.single_source(source).scores,
+                                 collab_simrank[source], exclude=source)
+        fine_error = max_error(fine.single_source(source).scores,
+                               collab_simrank[source], exclude=source)
+        assert fine_error <= coarse_error + 1e-6
+
+    def test_top_k_quality(self, collab_graph, collab_simrank):
+        algorithm = SLING(collab_graph, decay=DECAY, epsilon=1e-3, seed=7)
+        result = algorithm.single_source(4)
+        assert precision_at_k(result.scores, collab_simrank[4], 10, exclude=4) >= 0.9
+
+    def test_index_accounting_and_flags(self, collab_graph):
+        algorithm = SLING(collab_graph, epsilon=1e-2, seed=1)
+        assert algorithm.index_based
+        assert algorithm.index_bytes() == 0
+        algorithm.preprocess()
+        assert algorithm.index_bytes() > collab_graph.num_nodes * 8
+        assert algorithm.preprocessing_seconds > 0.0
+
+    def test_index_grows_with_precision(self, collab_graph):
+        coarse = SLING(collab_graph, epsilon=1e-1, seed=1).preprocess()
+        fine = SLING(collab_graph, epsilon=1e-3, seed=1).preprocess()
+        assert fine.index_bytes() >= coarse.index_bytes()
+
+    def test_fast_query_after_preprocessing(self, collab_graph):
+        algorithm = SLING(collab_graph, epsilon=1e-2, seed=1).preprocess()
+        result = algorithm.single_source(0)
+        # The whole point of SLING: queries are much cheaper than indexing.
+        assert result.query_seconds < algorithm.preprocessing_seconds
+
+    def test_samples_per_node_default_derived_from_epsilon(self, collab_graph):
+        assert SLING(collab_graph, epsilon=1e-1).samples_per_node == 10
+        assert SLING(collab_graph, epsilon=1e-4).samples_per_node == 10_000
+
+    def test_source_score_is_one(self, collab_graph):
+        algorithm = SLING(collab_graph, epsilon=1e-1, seed=1)
+        assert algorithm.single_source(2).scores[2] == 1.0

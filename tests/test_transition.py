@@ -1,0 +1,85 @@
+"""Unit tests for the (reverse) transition matrix and its operators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.transition import TransitionOperator, reverse_transition_matrix
+
+
+class TestReverseTransitionMatrix:
+    def test_column_sums_are_one_for_non_dangling(self, toy_graph):
+        matrix = reverse_transition_matrix(toy_graph)
+        column_sums = np.asarray(matrix.sum(axis=0)).ravel()
+        in_degrees = toy_graph.in_degrees
+        for node in range(toy_graph.num_nodes):
+            expected = 1.0 if in_degrees[node] > 0 else 0.0
+            assert column_sums[node] == pytest.approx(expected)
+
+    def test_entries_are_inverse_in_degree(self, toy_graph):
+        matrix = reverse_transition_matrix(toy_graph).toarray()
+        # Node 2 has in-neighbours {0, 1, 4}, each with probability 1/3.
+        for neighbor in (0, 1, 4):
+            assert matrix[neighbor, 2] == pytest.approx(1.0 / 3.0)
+        assert matrix[3, 2] == 0.0
+
+    def test_shape_and_sparsity(self, collab_graph):
+        matrix = reverse_transition_matrix(collab_graph)
+        assert matrix.shape == (collab_graph.num_nodes, collab_graph.num_nodes)
+        assert matrix.nnz == collab_graph.num_edges
+
+    def test_dangling_column_is_zero(self, toy_graph):
+        matrix = reverse_transition_matrix(toy_graph).toarray()
+        assert np.all(matrix[:, 0] == 0.0)
+
+
+class TestTransitionOperator:
+    def test_sqrt_c(self, toy_graph):
+        operator = TransitionOperator(toy_graph, 0.64)
+        assert operator.sqrt_c == pytest.approx(0.8)
+
+    def test_invalid_decay_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            TransitionOperator(toy_graph, 1.5)
+        with pytest.raises(ValueError):
+            TransitionOperator(toy_graph, 0.0)
+
+    def test_step_backward_matches_matrix(self, toy_graph):
+        operator = TransitionOperator(toy_graph, 0.6)
+        vector = np.arange(toy_graph.num_nodes, dtype=np.float64)
+        expected = operator.matrix @ vector
+        assert np.allclose(operator.step_backward(vector), expected)
+
+    def test_step_forward_is_transpose(self, toy_graph):
+        operator = TransitionOperator(toy_graph, 0.6)
+        vector = np.ones(toy_graph.num_nodes)
+        assert np.allclose(operator.step_forward(vector),
+                           operator.matrix.T @ vector)
+
+    def test_decayed_operators_scale_by_sqrt_c(self, toy_graph):
+        operator = TransitionOperator(toy_graph, 0.6)
+        vector = np.random.default_rng(0).random(toy_graph.num_nodes)
+        assert np.allclose(operator.decayed_backward(vector),
+                           operator.sqrt_c * operator.step_backward(vector))
+        assert np.allclose(operator.decayed_forward(vector),
+                           operator.sqrt_c * operator.step_forward(vector))
+
+    def test_matrices_cached(self, toy_graph):
+        operator = TransitionOperator(toy_graph, 0.6)
+        assert operator.matrix is operator.matrix
+        assert operator.matrix_t is operator.matrix_t
+
+    def test_memory_bytes(self, toy_graph):
+        operator = TransitionOperator(toy_graph, 0.6)
+        assert operator.memory_bytes() == 0      # nothing built yet
+        operator.matrix
+        assert operator.memory_bytes() > 0
+
+    def test_probability_preserved_backward(self, collab_graph):
+        # On a graph without dangling nodes, P preserves total mass.
+        operator = TransitionOperator(collab_graph, 0.6)
+        assert collab_graph.dangling_nodes().size == 0
+        vector = np.zeros(collab_graph.num_nodes)
+        vector[3] = 1.0
+        stepped = operator.step_backward(vector)
+        assert stepped.sum() == pytest.approx(1.0)
