@@ -1,0 +1,198 @@
+"""Micro-benchmarks of the vectorized CSR frontier kernels.
+
+Measures the two hot kernels — :func:`repro.kernels.push_frontier` (one
+hop-PPR push level) and :func:`repro.kernels.propagate_distribution` (one
+Algorithm 3 reverse-walk step) — plus the end-to-end push, on the GQ (small)
+and DB (large) datasets, with the dict-based reference loops timed alongside
+for the speedup ratio.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py --benchmark-only
+
+or regenerate the committed perf baseline ``BENCH_kernels.json``::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.kernels.frontier import propagate_distribution, push_frontier
+from repro.kernels.reference import (
+    _reference_propagate_distribution,
+    _reference_push_frontier,
+)
+from repro.kernels.sparsevec import SparseVector
+from repro.ppr.push import forward_push_hop_ppr, forward_push_hop_ppr_batch
+
+DECAY = 0.6
+SQRT_C = float(np.sqrt(DECAY))
+R_MAX = 1e-5
+WARM_LEVELS = 3
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return load_dataset("GQ")
+
+
+@pytest.fixture(scope="module")
+def large_graph():
+    return load_dataset("DB")
+
+
+def _warm_frontier(graph) -> SparseVector:
+    """A realistic mid-push frontier: a few levels out from the top hub."""
+    frontier = SparseVector(
+        np.array([int(np.argmax(graph.in_degrees))], dtype=np.int64),
+        np.array([1.0], dtype=np.float64))
+    for _ in range(WARM_LEVELS):
+        step = push_frontier(graph.in_indptr, graph.in_indices, frontier,
+                             r_max=R_MAX, sqrt_c=SQRT_C,
+                             num_nodes=graph.num_nodes)
+        frontier = step.frontier
+    return frontier
+
+
+# --------------------------------------------------------------------------- #
+# push_frontier — one level
+# --------------------------------------------------------------------------- #
+def test_push_frontier_small(benchmark, small_graph):
+    frontier = _warm_frontier(small_graph)
+    benchmark(push_frontier, small_graph.in_indptr, small_graph.in_indices,
+              frontier, r_max=R_MAX, sqrt_c=SQRT_C,
+              num_nodes=small_graph.num_nodes)
+
+
+def test_push_frontier_large(benchmark, large_graph):
+    frontier = _warm_frontier(large_graph)
+    benchmark(push_frontier, large_graph.in_indptr, large_graph.in_indices,
+              frontier, r_max=R_MAX, sqrt_c=SQRT_C,
+              num_nodes=large_graph.num_nodes)
+
+
+def test_push_frontier_reference_small(benchmark, small_graph):
+    frontier = _warm_frontier(small_graph).to_dict()
+    benchmark(_reference_push_frontier, small_graph, frontier,
+              r_max=R_MAX, sqrt_c=SQRT_C)
+
+
+def test_push_frontier_reference_large(benchmark, large_graph):
+    frontier = _warm_frontier(large_graph).to_dict()
+    benchmark(_reference_push_frontier, large_graph, frontier,
+              r_max=R_MAX, sqrt_c=SQRT_C)
+
+
+# --------------------------------------------------------------------------- #
+# propagate_distribution — one Algorithm 3 step
+# --------------------------------------------------------------------------- #
+def test_propagate_distribution_small(benchmark, small_graph):
+    frontier = _warm_frontier(small_graph)
+    benchmark(propagate_distribution, small_graph.in_indptr,
+              small_graph.in_indices, frontier, num_nodes=small_graph.num_nodes)
+
+
+def test_propagate_distribution_large(benchmark, large_graph):
+    frontier = _warm_frontier(large_graph)
+    benchmark(propagate_distribution, large_graph.in_indptr,
+              large_graph.in_indices, frontier, num_nodes=large_graph.num_nodes)
+
+
+def test_propagate_distribution_reference_small(benchmark, small_graph):
+    frontier = _warm_frontier(small_graph).to_dict()
+    benchmark(_reference_propagate_distribution, small_graph, frontier)
+
+
+def test_propagate_distribution_reference_large(benchmark, large_graph):
+    frontier = _warm_frontier(large_graph).to_dict()
+    benchmark(_reference_propagate_distribution, large_graph, frontier)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end push: single source and batched multi-source
+# --------------------------------------------------------------------------- #
+def test_forward_push_small(benchmark, small_graph):
+    source = int(np.argmax(small_graph.in_degrees))
+    benchmark(forward_push_hop_ppr, small_graph, source, 20, R_MAX, decay=DECAY)
+
+
+def test_forward_push_large(benchmark, large_graph):
+    source = int(np.argmax(large_graph.in_degrees))
+    benchmark(forward_push_hop_ppr, large_graph, source, 20, R_MAX, decay=DECAY)
+
+
+def test_forward_push_batch_large(benchmark, large_graph):
+    sources = np.argsort(-large_graph.in_degrees)[:16].tolist()
+    benchmark(forward_push_hop_ppr_batch, large_graph, sources, 20, R_MAX,
+              decay=DECAY)
+
+
+# --------------------------------------------------------------------------- #
+# standalone baseline recorder
+# --------------------------------------------------------------------------- #
+def _time(callable_, *args, repeats=5, **kwargs):
+    import time
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record_baseline(path="BENCH_kernels.json"):
+    """Measure kernel-vs-reference timings and write the perf baseline JSON."""
+    import json
+    import platform
+
+    payload = {"description": "Frontier-kernel perf baseline: dict-based "
+                              "reference ('before') vs vectorized CSR kernels "
+                              "('after'), best of 5, seconds.",
+               "python": platform.python_version(),
+               "datasets": {}}
+    for key in ("GQ", "DB"):
+        graph = load_dataset(key)
+        frontier = _warm_frontier(graph)
+        frontier_dict = frontier.to_dict()
+        source = int(np.argmax(graph.in_degrees))
+        before_push = _time(_reference_push_frontier, graph, frontier_dict,
+                            r_max=R_MAX, sqrt_c=SQRT_C)
+        after_push = _time(push_frontier, graph.in_indptr, graph.in_indices,
+                           frontier, r_max=R_MAX, sqrt_c=SQRT_C,
+                           num_nodes=graph.num_nodes)
+        before_prop = _time(_reference_propagate_distribution, graph, frontier_dict)
+        after_prop = _time(propagate_distribution, graph.in_indptr,
+                           graph.in_indices, frontier, num_nodes=graph.num_nodes)
+        from repro.kernels.reference import _reference_forward_push_hop_ppr
+        before_full = _time(_reference_forward_push_hop_ppr, graph, source, 20,
+                            R_MAX, decay=DECAY, repeats=3)
+        after_full = _time(forward_push_hop_ppr, graph, source, 20, R_MAX,
+                           decay=DECAY, repeats=3)
+        payload["datasets"][key] = {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "frontier_nnz": frontier.nnz,
+            "push_frontier": {"before_s": before_push, "after_s": after_push,
+                              "speedup": before_push / after_push},
+            "propagate_distribution": {"before_s": before_prop,
+                                       "after_s": after_prop,
+                                       "speedup": before_prop / after_prop},
+            "forward_push_hop_ppr": {"before_s": before_full,
+                                     "after_s": after_full,
+                                     "speedup": before_full / after_full},
+        }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload
+
+
+if __name__ == "__main__":
+    results = record_baseline()
+    for key, entry in results["datasets"].items():
+        for kernel in ("push_frontier", "propagate_distribution",
+                       "forward_push_hop_ppr"):
+            stats = entry[kernel]
+            print(f"{key} {kernel}: {stats['before_s']*1e3:.3f} ms -> "
+                  f"{stats['after_s']*1e3:.3f} ms  ({stats['speedup']:.1f}x)")

@@ -13,6 +13,11 @@ and adds π_·^ℓ(W_ℓ) · D(W_ℓ, W_ℓ)/(1 − √c) — a reverse probe of
 the visited node — to the score vector.  ``num_walks`` controls the variance
 and is the method's accuracy knob (the paper's query-time O(n log n/ε²) term
 comes precisely from this sampling).
+
+Each probe is a sparse frontier propagation through the vectorized CSR
+kernels (:func:`repro.kernels.propagate_transpose`, the ``Pᵀ`` direction)
+instead of a dense matrix-vector product, so its cost is proportional to the
+probe's support rather than to the number of edges in the graph.
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ from repro.core.result import SingleSourceResult
 from repro.diagonal.parsim_approx import parsim_diagonal
 from repro.graph.digraph import DiGraph
 from repro.graph.transition import TransitionOperator
+from repro.kernels.frontier import propagate_transpose
+from repro.kernels.sparsevec import SparseVector
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Timer
@@ -66,8 +73,8 @@ class ProbeSim(SimRankAlgorithm):
                 for meeting_node in np.flatnonzero(counts):
                     meeting_node = int(meeting_node)
                     probe = self._probe(meeting_node, step)
-                    scores += (scale * counts[meeting_node] *
-                               self._diagonal[meeting_node]) * probe
+                    probe.add_into(scores, scale * counts[meeting_node] *
+                                   self._diagonal[meeting_node])
             np.clip(scores, 0.0, 1.0, out=scores)
             scores[source] = 1.0
         return SingleSourceResult(source=source, scores=scores, algorithm=self.name,
@@ -75,16 +82,24 @@ class ProbeSim(SimRankAlgorithm):
                                   stats={"num_walks": float(self.num_walks),
                                          "max_steps": float(self.max_steps)})
 
-    def _probe(self, node: int, level: int) -> np.ndarray:
-        """π_·^level(node) over all candidate nodes j (truncated reverse probe)."""
+    def _probe(self, node: int, level: int) -> SparseVector:
+        """π_·^level(node) as a sparse vector (truncated reverse probe).
+
+        One vectorized CSR frontier step per level; entries below
+        ``probe_threshold`` are masked out exactly as the seed's dense
+        implementation zeroed them.
+        """
         sqrt_c = self._operator.sqrt_c
-        current = np.zeros(self.graph.num_nodes, dtype=np.float64)
-        current[node] = 1.0
+        frontier = SparseVector(np.array([node], dtype=np.int64),
+                                np.array([1.0], dtype=np.float64))
         for _ in range(level):
-            current = sqrt_c * (self._operator.matrix_t @ current)
+            frontier, _ = propagate_transpose(
+                self.graph.out_indptr, self.graph.out_indices,
+                self.graph.in_degrees, frontier, num_nodes=self.graph.num_nodes)
+            frontier = frontier.scaled(sqrt_c)
             if self.probe_threshold > 0.0:
-                current[current < self.probe_threshold] = 0.0
-        return (1.0 - sqrt_c) * current
+                frontier = frontier.filtered(self.probe_threshold)
+        return frontier.scaled(1.0 - sqrt_c)
 
 
 __all__ = ["ProbeSim"]

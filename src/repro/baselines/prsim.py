@@ -17,6 +17,13 @@ of PRSim's probe sampling: cheap, ε-accurate handling of the light tail).
 The ``epsilon`` knob drives the index truncation threshold, the on-the-fly
 threshold and the per-hub D samples, reproducing the preprocessing-time /
 index-size / accuracy trade-off of Figures 3, 4, 7 and 8.
+
+Both propagation paths run on the vectorized CSR frontier kernels: each hub
+index column is one sparse frontier walk in the ``Pᵀ`` direction
+(:func:`repro.kernels.propagate_transpose`), and the query-time on-the-fly
+probes of *all* candidate meeting nodes at a level are pushed simultaneously
+through shared CSR slices by the batched kernel
+(:func:`repro.kernels.propagate_batch_transpose`).
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ from repro.baselines.base import SimRankAlgorithm
 from repro.core.result import SingleSourceResult
 from repro.graph.digraph import DiGraph
 from repro.graph.transition import TransitionOperator
+from repro.kernels.frontier import propagate_batch_transpose, propagate_transpose
+from repro.kernels.sparsevec import SparseVector
 from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.ppr.pagerank import pagerank
 from repro.randomwalk.engine import SqrtCWalkEngine
@@ -67,18 +76,27 @@ class PRSim(SimRankAlgorithm):
                              ) -> List[sparse.csr_matrix]:
         """π_·^ℓ(node) over all source nodes, truncated below ``threshold``.
 
-        Uses the symmetry π_j^ℓ(k) = (1 − √c)·((√c Pᵀ)^ℓ e_k)(j): one forward
-        (Pᵀ) propagation from ``node`` yields the whole column of the index.
+        Uses the symmetry π_j^ℓ(k) = (1 − √c)·((√c Pᵀ)^ℓ e_k)(j): one sparse
+        frontier walk from ``node`` yields the whole column of the index.
+        The frontier itself is propagated exactly (only the stored snapshots
+        are pruned, as in the seed's dense implementation).
         """
         sqrt_c = self._operator.sqrt_c
-        current = np.zeros(self.graph.num_nodes, dtype=np.float64)
-        current[node] = 1.0
+        num_nodes = self.graph.num_nodes
+        frontier = SparseVector(np.array([node], dtype=np.int64),
+                                np.array([1.0], dtype=np.float64))
         vectors: List[sparse.csr_matrix] = []
-        for _ in range(iterations + 1):
-            hop = (1.0 - sqrt_c) * current
-            hop[hop < threshold] = 0.0
-            vectors.append(sparse.csr_matrix(hop))
-            current = sqrt_c * (self._operator.matrix_t @ current)
+        for level in range(iterations + 1):
+            hop = frontier.scaled(1.0 - sqrt_c).filtered(threshold)
+            vectors.append(sparse.csr_matrix(
+                (hop.values, (np.zeros(hop.nnz, dtype=np.int64), hop.indices)),
+                shape=(1, num_nodes)))
+            if level == iterations:
+                break
+            frontier, _ = propagate_transpose(
+                self.graph.out_indptr, self.graph.out_indices,
+                self.graph.in_degrees, frontier, num_nodes=num_nodes)
+            frontier = frontier.scaled(sqrt_c)
         return vectors
 
     def preprocess(self) -> "PRSim":
@@ -124,7 +142,8 @@ class PRSim(SimRankAlgorithm):
             scale = 1.0 / (1.0 - self._operator.sqrt_c) ** 2
             scores = np.zeros(num_nodes, dtype=np.float64)
 
-            hub_set = set(int(h) for h in self._hubs)
+            is_hub = np.zeros(num_nodes, dtype=bool)
+            is_hub[self._hubs] = True
             # Hub contribution straight from the index.
             for hub, vectors in self._hub_index.items():
                 weight = self._diagonal[hub]
@@ -136,19 +155,17 @@ class PRSim(SimRankAlgorithm):
                         np.asarray(reverse_vector.todense()).ravel()
 
             # Non-hub contribution: on-the-fly reverse propagation at a coarser
-            # threshold, restricted to nodes the source actually reaches.
+            # threshold, restricted to nodes the source actually reaches.  All
+            # candidate meeting nodes of a level are propagated simultaneously
+            # through shared CSR slices by the batched frontier kernel.
             coarse_threshold = (1.0 - self._operator.sqrt_c) * self.epsilon
             for level in range(iterations + 1):
                 hop_vector = hop_ppr.hop_dense(level)
-                candidates = np.flatnonzero(hop_vector > coarse_threshold)
-                for meeting_node in candidates:
-                    meeting_node = int(meeting_node)
-                    if meeting_node in hub_set:
-                        continue
-                    reverse = self._reverse_single_level(meeting_node, level,
-                                                         coarse_threshold)
-                    scores += scale * self._diagonal[meeting_node] * \
-                        hop_vector[meeting_node] * reverse
+                candidates = np.flatnonzero((hop_vector > coarse_threshold) & ~is_hub)
+                if candidates.size == 0:
+                    continue
+                self._accumulate_reverse_batch(scores, candidates, level,
+                                               hop_vector, coarse_threshold, scale)
             np.clip(scores, 0.0, 1.0, out=scores)
             scores[source] = 1.0
         return SingleSourceResult(source=source, scores=scores, algorithm=self.name,
@@ -158,15 +175,36 @@ class PRSim(SimRankAlgorithm):
                                          "num_hubs": float(self._hubs.shape[0]),
                                          "index_bytes": float(self.index_bytes())})
 
-    def _reverse_single_level(self, node: int, level: int, threshold: float) -> np.ndarray:
-        """π_·^level(node) over all j, truncated, computed on the fly."""
+    def _accumulate_reverse_batch(self, scores: np.ndarray, candidates: np.ndarray,
+                                  level: int, hop_vector: np.ndarray,
+                                  threshold: float, scale: float) -> None:
+        """Add Σ_k scale·D(k,k)·π_i^level(k)·π_·^level(k) over ``candidates``.
+
+        One batched frontier walk replaces the seed's per-candidate dense
+        propagation: the COO batch (candidate row, node, mass) is expanded
+        through shared CSR slices once per step, with the truncation applied
+        as a boolean mask after every step — semantically identical to the
+        per-candidate ``current[current < threshold] = 0`` pruning.
+        """
+        assert self._diagonal is not None
         sqrt_c = self._operator.sqrt_c
-        current = np.zeros(self.graph.num_nodes, dtype=np.float64)
-        current[node] = 1.0
+        num_nodes = self.graph.num_nodes
+        rows = np.arange(candidates.shape[0], dtype=np.int64)
+        cols = candidates.astype(np.int64, copy=False)
+        vals = np.ones(candidates.shape[0], dtype=np.float64)
         for _ in range(level):
-            current = sqrt_c * (self._operator.matrix_t @ current)
-            current[current < threshold] = 0.0
-        return (1.0 - sqrt_c) * current
+            if rows.size == 0:
+                return
+            rows, cols, vals, _ = propagate_batch_transpose(
+                self.graph.out_indptr, self.graph.out_indices,
+                self.graph.in_degrees, rows, cols, vals, num_nodes=num_nodes)
+            vals *= sqrt_c
+            keep = vals >= threshold
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        weights = (scale * (1.0 - sqrt_c) * self._diagonal[candidates] *
+                   hop_vector[candidates])
+        scores += np.bincount(cols, weights=vals * weights[rows],
+                              minlength=num_nodes)
 
     def index_bytes(self) -> int:
         total = int(self._diagonal.nbytes) if self._diagonal is not None else 0

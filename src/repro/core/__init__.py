@@ -7,7 +7,11 @@ from repro.core.sampling import (
     allocate_proportional,
     allocate_squared,
 )
-from repro.core.sparse import sparse_truncation_threshold, sparsify_vector
+from repro.core.sparse import (
+    sparse_truncation_threshold,
+    sparsify_to_vector,
+    sparsify_vector,
+)
 from repro.core.exactsim import ExactSim, exact_single_source, exact_top_k
 from repro.core.topk import AdaptiveTopKResult, adaptive_top_k
 
@@ -21,6 +25,7 @@ __all__ = [
     "allocate_proportional",
     "allocate_squared",
     "sparse_truncation_threshold",
+    "sparsify_to_vector",
     "sparsify_vector",
     "ExactSim",
     "exact_single_source",

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels.sparsevec import SparseVector
 from repro.utils.validation import check_positive, check_probability
 
 
@@ -32,10 +33,28 @@ def sparsify_vector(vector: np.ndarray, threshold: float) -> np.ndarray:
     return result
 
 
+def sparsify_to_vector(vector: np.ndarray, threshold: float) -> SparseVector:
+    """Lemma 2 truncation straight into the kernels' array-backed form.
+
+    Equivalent to ``SparseVector.from_dense(sparsify_vector(vector,
+    threshold))`` without materialising the intermediate dense copy: the
+    surviving entries feed directly into the CSR frontier kernels.
+    """
+    check_positive(threshold, "threshold")
+    dense = np.asarray(vector, dtype=np.float64)
+    kept = np.flatnonzero(dense >= threshold)
+    return SparseVector(kept.astype(np.int64), dense[kept])
+
+
 def max_surviving_entries(epsilon: float, *, decay: float = 0.6) -> int:
     """The Pigeonhole bound on non-zero entries across all hop vectors: 1/((1−√c)²ε)."""
     threshold = sparse_truncation_threshold(epsilon, decay=decay)
     return int(np.ceil(1.0 / threshold))
 
 
-__all__ = ["sparse_truncation_threshold", "sparsify_vector", "max_surviving_entries"]
+__all__ = [
+    "sparse_truncation_threshold",
+    "sparsify_vector",
+    "sparsify_to_vector",
+    "max_surviving_entries",
+]

@@ -15,17 +15,30 @@ and only estimates the tail Σ_{ℓ > ℓ(k)} Z_ℓ(k) with random walks.  The
 target level ℓ(k) is chosen adaptively: the deterministic exploration stops
 as soon as the number of traversed edges exceeds 2·R(k)/√c, the expected cost
 of simulating the R(k) walk pairs it replaces.
+
+Frontier-kernel design
+----------------------
+The propagation step behind the recursion is one call into
+:func:`repro.kernels.propagate_distribution`: the sparse distribution lives
+in an array-backed :class:`~repro.kernels.SparseVector`, the in-neighbour
+CSR slices of the whole frontier are gathered with ``np.repeat`` and
+scattered with ``np.bincount`` — no Python loop touches an edge.  The
+:class:`_DistributionCache` still exposes plain ``dict`` distributions to the
+Lemma 4 recursion (which works entry-by-entry on tiny local neighbourhoods)
+and preserves the :class:`BudgetExhausted` edge-budget semantics exactly:
+every traversed edge is charged *before* the next level is materialized.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.kernels.frontier import propagate_distribution
+from repro.kernels.sparsevec import SparseVector
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.randomwalk.meeting import estimate_tail_meeting_probability
 from repro.utils.rng import SeedLike
@@ -40,22 +53,14 @@ def _propagate(graph: DiGraph, distribution: Distribution) -> Tuple[Distribution
 
     Returns the new distribution and the number of edges traversed (the cost
     counter E_k of Algorithm 3).  Mass at dangling nodes disappears, matching
-    a √c-walk that stops because it cannot move.
+    a √c-walk that stops because it cannot move.  The per-edge work happens
+    inside the vectorized CSR frontier kernel; this wrapper only converts
+    between the ``dict`` view and the array-backed frontier.
     """
-    spread: Distribution = defaultdict(float)
-    traversed = 0
-    indptr = graph.in_indptr
-    indices = graph.in_indices
-    for node, probability in distribution.items():
-        start, stop = indptr[node], indptr[node + 1]
-        degree = int(stop - start)
-        if degree == 0:
-            continue
-        share = probability / degree
-        traversed += degree
-        for neighbor in indices[start:stop].tolist():
-            spread[neighbor] += share
-    return dict(spread), traversed
+    frontier = SparseVector.from_dict(distribution)
+    spread, traversed = propagate_distribution(
+        graph.in_indptr, graph.in_indices, frontier, num_nodes=graph.num_nodes)
+    return spread.to_dict(), traversed
 
 
 class BudgetExhausted(Exception):

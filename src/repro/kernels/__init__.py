@@ -1,0 +1,48 @@
+"""Vectorized CSR frontier kernels.
+
+ExactSim's preprocessing cost is dominated by push-style sparse propagation:
+the hop-PPR local push (``ppr/push.py``) and the Algorithm 3 deterministic
+local exploitation (``diagonal/local.py``) both expand a *frontier* — a small
+set of (node, mass) pairs — one level at a time over the reverse CSR
+adjacency.  The seed implementation walked neighbour lists in pure Python;
+this package replaces those loops with array kernels that gather whole CSR
+slices with ``np.repeat``, scatter with ``np.bincount``, and filter with
+boolean masks, so the per-edge cost drops to a few vectorized instructions
+while the work stays proportional to the frontier size.
+
+Layout:
+
+* :mod:`repro.kernels.sparsevec` — the array-backed sparse-vector container
+  (``indices: int64[]``, ``values: float64[]``) the kernels produce/consume;
+* :mod:`repro.kernels.frontier` — the kernels themselves
+  (:func:`push_frontier`, :func:`propagate_distribution`,
+  :func:`propagate_batch`);
+* :mod:`repro.kernels.reference` — the original dict-based loops, kept as
+  executable specifications for the equivalence test suite.
+"""
+
+from repro.kernels.frontier import (
+    BatchPushLevel,
+    PushLevel,
+    csr_gather,
+    propagate_batch,
+    propagate_batch_transpose,
+    propagate_distribution,
+    propagate_transpose,
+    push_frontier,
+    push_frontier_batch,
+)
+from repro.kernels.sparsevec import SparseVector
+
+__all__ = [
+    "BatchPushLevel",
+    "PushLevel",
+    "SparseVector",
+    "csr_gather",
+    "propagate_batch",
+    "propagate_batch_transpose",
+    "propagate_distribution",
+    "propagate_transpose",
+    "push_frontier",
+    "push_frontier_batch",
+]

@@ -6,7 +6,11 @@ from repro.ppr.hop_ppr import (
     hitting_probability_vectors,
     ppr_vector,
 )
-from repro.ppr.push import forward_push_hop_ppr, PushResult
+from repro.ppr.push import (
+    forward_push_hop_ppr,
+    forward_push_hop_ppr_batch,
+    PushResult,
+)
 from repro.ppr.pagerank import pagerank, personalized_pagerank_power
 
 __all__ = [
@@ -15,6 +19,7 @@ __all__ = [
     "hitting_probability_vectors",
     "ppr_vector",
     "forward_push_hop_ppr",
+    "forward_push_hop_ppr_batch",
     "PushResult",
     "pagerank",
     "personalized_pagerank_power",

@@ -21,10 +21,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
-from scipy import sparse
 
+from repro.core.sparse import sparsify_to_vector
 from repro.graph.digraph import DiGraph
 from repro.graph.transition import TransitionOperator
+from repro.kernels.sparsevec import SparseVector
 from repro.utils.validation import check_node_index, check_positive, check_positive_int
 
 
@@ -32,9 +33,10 @@ from repro.utils.validation import check_node_index, check_positive, check_posit
 class HopPPR:
     """The ℓ-hop PPR vectors of one source node, for ℓ = 0 … L.
 
-    ``hops[ℓ]`` is a 1-D array (dense mode) or a 1-column CSC sparse matrix
-    (sparse mode) of length ``n``.  ``total`` is π_i = Σ_ℓ π_i^ℓ as a dense
-    array, which Algorithm 1 needs for the sample allocation.
+    ``hops[ℓ]`` is a 1-D array (dense mode) or an array-backed
+    :class:`~repro.kernels.SparseVector` (sparse mode) of length ``n``.
+    ``total`` is π_i = Σ_ℓ π_i^ℓ as a dense array, which Algorithm 1 needs
+    for the sample allocation.
     """
 
     source: int
@@ -52,7 +54,7 @@ class HopPPR:
         vector = self.hops[level]
         if isinstance(vector, np.ndarray):
             return vector
-        return np.asarray(vector.todense()).ravel()
+        return vector.to_dense(self.total.shape[0])
 
     @property
     def squared_norm(self) -> float:
@@ -66,7 +68,7 @@ class HopPPR:
             if isinstance(vector, np.ndarray):
                 count += int(np.count_nonzero(vector))
             else:
-                count += int(vector.nnz)
+                count += vector.nnz
         return count
 
     def memory_bytes(self) -> int:
@@ -76,7 +78,7 @@ class HopPPR:
             if isinstance(vector, np.ndarray):
                 total += int(vector.nbytes)
             else:
-                total += int(vector.data.nbytes + vector.indices.nbytes + vector.indptr.nbytes)
+                total += vector.memory_bytes()
         return total
 
 
@@ -115,9 +117,7 @@ def hop_ppr_vectors(graph: DiGraph, source: int, num_hops: int, *, decay: float 
         if truncation_threshold is None:
             hops.append(hop_vector)
         else:
-            kept = hop_vector.copy()
-            kept[kept < truncation_threshold] = 0.0
-            hops.append(sparse.csr_matrix(kept))
+            hops.append(sparsify_to_vector(hop_vector, truncation_threshold))
         current = ops.decayed_backward(current)
 
     return HopPPR(source=source, decay=decay, num_hops=num_hops, hops=hops, total=total,

@@ -125,8 +125,38 @@ class TestForwardPush:
 
     def test_push_memory_accounting(self, collab_graph):
         push = forward_push_hop_ppr(collab_graph, 3, 4, r_max=1e-3, decay=DECAY)
-        assert push.memory_bytes() > 0
         assert push.pushed_entries > 0
+        # Array-backed storage: one int64 index + one float64 value per entry.
+        stored_entries = sum(level.nnz for level in push.levels)
+        assert push.memory_bytes() == stored_entries * 16
+
+    def test_residual_mass_conservation_across_seeds(self):
+        """Regression: estimates + residual_mass account for the full unit of mass.
+
+        The seed implementation silently lost mass absorbed at dangling nodes
+        and the tail beyond the hop horizon; the kernel-based push accumulates
+        every drop exactly once.
+        """
+        from repro.graph.generators import power_law_graph
+        for seed in (0, 7, 42, 2020):
+            graph = power_law_graph(150, 4.0, exponent=2.1, directed=True,
+                                    seed=seed)
+            push = forward_push_hop_ppr(graph, seed % graph.num_nodes, 12,
+                                        r_max=1e-4, decay=DECAY)
+            total_estimate = push.total_dense(graph.num_nodes).sum()
+            assert total_estimate + push.residual_mass == pytest.approx(1.0, abs=1e-9)
+
+    def test_estimates_dict_view_matches_reference(self, collab_graph):
+        """The backward-compat dict views carry the seed implementation's content."""
+        from repro.kernels.reference import _reference_forward_push_hop_ppr
+        push = forward_push_hop_ppr(collab_graph, 3, 5, r_max=1e-3, decay=DECAY)
+        expected_levels, _, _ = _reference_forward_push_hop_ppr(
+            collab_graph, 3, 5, 1e-3, decay=DECAY)
+        assert len(push.estimates) == len(expected_levels)
+        for view, expected in zip(push.estimates, expected_levels):
+            assert set(view) == set(expected)
+            for node, value in expected.items():
+                assert view[node] == pytest.approx(value, abs=1e-12)
 
     def test_invalid_r_max(self, collab_graph):
         with pytest.raises(ValueError):
