@@ -72,3 +72,51 @@ def test_power_method_small_graph(benchmark):
                                 kwargs={"decay": 0.6, "tolerance": 1e-8},
                                 rounds=1, iterations=1)
     assert np.allclose(np.diag(result), 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# batched query path (PR 2): sequential loop vs single_source_batch
+# --------------------------------------------------------------------------- #
+def _exactsim_config():
+    from repro.core.config import ExactSimConfig
+    return ExactSimConfig(epsilon=5e-2, decay=0.6, seed=2020,
+                          max_total_samples=5_000)
+
+
+def test_exactsim_sequential_queries_large(benchmark, large_graph):
+    from repro.core.exactsim import ExactSim
+    sources = np.argsort(-large_graph.in_degrees)[:4].tolist()
+
+    def run():
+        engine = ExactSim(large_graph, _exactsim_config())
+        for source in sources:
+            engine.single_source(int(source))
+    benchmark(run)
+
+
+def test_exactsim_batched_queries_large(benchmark, large_graph):
+    from repro.core.exactsim import ExactSim
+    sources = [int(s) for s in np.argsort(-large_graph.in_degrees)[:4]]
+
+    def run():
+        ExactSim(large_graph, _exactsim_config()).single_source_batch(sources)
+    benchmark(run)
+
+
+def test_harness_sweep_point_uses_batch(benchmark, small_graph):
+    """One harness sweep point end-to-end (preprocess + batched queries)."""
+    from repro.algorithms import registry
+    from repro.experiments.harness import _evaluate_point
+    from repro.graph.context import GraphContext
+
+    from repro.baselines.power_method import PowerMethod
+    oracle = PowerMethod(small_graph, context=GraphContext.shared(small_graph)).preprocess()
+
+    def truth(source):
+        return oracle.matrix[source]
+
+    def run():
+        algorithm = registry.create("parsim", small_graph, {"iterations": 8},
+                                    context=GraphContext.shared(small_graph))
+        _evaluate_point(algorithm, [1, 5, 9], truth, 10, None)
+    benchmark(run)

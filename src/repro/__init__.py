@@ -25,7 +25,9 @@ from repro.core.config import ExactSimConfig, EPSILON_EXACT
 from repro.core.exactsim import ExactSim, exact_single_source, exact_top_k
 from repro.core.result import SingleSourceResult, TopKResult
 from repro.core.topk import AdaptiveTopKResult, adaptive_top_k
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
+from repro.algorithms import registry as algorithm_registry
 from repro.baselines import (
     MonteCarloSimRank,
     LinearizationSimRank,
@@ -51,6 +53,8 @@ __all__ = [
     "SingleSourceResult",
     "TopKResult",
     "DiGraph",
+    "GraphContext",
+    "algorithm_registry",
     "MonteCarloSimRank",
     "LinearizationSimRank",
     "ParSim",

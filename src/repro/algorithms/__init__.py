@@ -1,0 +1,19 @@
+"""Unified algorithm registry: every SimRank method, constructible by name."""
+
+from repro.algorithms.registry import (
+    AlgorithmSpec,
+    available,
+    create,
+    describe_all,
+    get_spec,
+    register,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "available",
+    "create",
+    "describe_all",
+    "get_spec",
+    "register",
+]

@@ -1,0 +1,214 @@
+"""Algorithm registry: construct any SimRank method by name + config dict.
+
+The registry is the single place that knows how to turn ``("prsim",
+{"epsilon": 1e-2, "seed": 7})`` into a ready
+:class:`~repro.baselines.base.SimRankAlgorithm` instance.  The CLI's
+``--method`` flag, the experiment harness's sweeps and the conformance test
+suite all resolve methods here, so adding an algorithm to the library is one
+:func:`register` call — every driver picks it up automatically.
+
+Every entry records, besides the constructor:
+
+* ``sweep_parameter`` — the method's accuracy knob, which the figure drivers
+  sweep (ε for ExactSim/PRSim/SLING, walks for MC/ProbeSim, iterations for
+  ParSim, D samples for Linearization);
+* ``config_keys`` — the constructor keywords the method accepts, used by the
+  CLI to filter its generic defaults (decay, seed, ε) down to what the
+  method understands;
+* ``index_based`` / ``supports_persistence`` — whether ``index build`` /
+  ``save_index`` apply.
+
+ExactSim is a registered citizen like every baseline: the two entries
+``exactsim`` and ``exactsim-basic`` wrap the config-dict keys into an
+:class:`~repro.core.config.ExactSimConfig` (optimized and basic variants
+respectively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.linearization import LinearizationSimRank
+from repro.baselines.monte_carlo import MonteCarloSimRank
+from repro.baselines.parsim import ParSim
+from repro.baselines.power_method import PowerMethod
+from repro.baselines.probesim import ProbeSim
+from repro.baselines.prsim import PRSim
+from repro.baselines.sling import SLING
+from repro.core.config import ExactSimConfig
+from repro.core.exactsim import ExactSim
+from repro.graph.context import GraphContext
+from repro.graph.digraph import DiGraph
+
+#: A factory builds an instance from (graph, config dict, shared context).
+Factory = Callable[[DiGraph, Dict[str, Any], Optional[GraphContext]],
+                   SimRankAlgorithm]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Registry entry for one constructible algorithm."""
+
+    name: str
+    factory: Factory
+    description: str
+    index_based: bool
+    supports_persistence: bool = False
+    #: The accuracy knob the experiment sweeps vary, or None (oracle methods).
+    sweep_parameter: Optional[str] = None
+    #: Cast applied to sweep values before they enter the config (int knobs).
+    sweep_cast: Callable[[float], Any] = float
+    #: Constructor keywords the method accepts (besides the graph).
+    config_keys: Tuple[str, ...] = ()
+
+    def create(self, graph: DiGraph, config: Optional[Mapping[str, Any]] = None,
+               *, context: Optional[GraphContext] = None) -> SimRankAlgorithm:
+        merged = dict(config or {})
+        unknown = set(merged) - set(self.config_keys)
+        if unknown:
+            raise ValueError(
+                f"{self.name} does not accept config keys {sorted(unknown)}; "
+                f"accepted: {sorted(self.config_keys)}")
+        return self.factory(graph, merged, context)
+
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+
+
+def register(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Add ``spec`` to the registry (name must be unused)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"algorithm {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def available() -> List[str]:
+    """Sorted names of every registered algorithm."""
+    return sorted(_REGISTRY)
+
+
+def get_spec(name: str) -> AlgorithmSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; registered: {available()}") \
+            from None
+
+
+def create(name: str, graph: DiGraph,
+           config: Optional[Mapping[str, Any]] = None, *,
+           context: Optional[GraphContext] = None) -> SimRankAlgorithm:
+    """Instantiate algorithm ``name`` on ``graph`` from a plain config dict.
+
+    ``context`` (when given) is the shared :class:`GraphContext` every
+    instance of a sweep should reuse; omitted, the per-graph shared context
+    is used, so repeated ``create`` calls on one graph still share the
+    transition matrices.
+    """
+    return get_spec(name).create(graph, config, context=context)
+
+
+def describe_all() -> List[Dict[str, object]]:
+    """One row per registered method (for the CLI ``methods`` listing)."""
+    rows = []
+    for name in available():
+        spec = _REGISTRY[name]
+        rows.append({
+            "method": name,
+            "kind": "index-based" if spec.index_based else "index-free",
+            "persistable": spec.supports_persistence,
+            "sweep_parameter": spec.sweep_parameter or "-",
+            "description": spec.description,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# built-in registrations
+# --------------------------------------------------------------------------- #
+_EXACTSIM_KEYS = ("epsilon", "decay", "seed", "max_total_samples",
+                  "max_walk_steps", "max_exploit_level", "failure_constant")
+
+
+def _exactsim_factory(optimized: bool) -> Factory:
+    def build(graph: DiGraph, config: Dict[str, Any],
+              context: Optional[GraphContext]) -> SimRankAlgorithm:
+        if optimized:
+            algo_config = ExactSimConfig(**config)
+        else:
+            algo_config = ExactSimConfig.basic(**config)
+        return ExactSim(graph, algo_config, context=context)
+    return build
+
+
+def _class_factory(cls) -> Factory:
+    def build(graph: DiGraph, config: Dict[str, Any],
+              context: Optional[GraphContext]) -> SimRankAlgorithm:
+        return cls(graph, context=context, **config)
+    return build
+
+
+register(AlgorithmSpec(
+    name="exactsim", factory=_exactsim_factory(optimized=True),
+    description="ExactSim with all three optimizations (Algorithm 1, the paper's default).",
+    index_based=False, sweep_parameter="epsilon", config_keys=_EXACTSIM_KEYS))
+
+register(AlgorithmSpec(
+    name="exactsim-basic", factory=_exactsim_factory(optimized=False),
+    description="Basic ExactSim: dense linearization, proportional sampling, Algorithm 2.",
+    index_based=False, sweep_parameter="epsilon", config_keys=_EXACTSIM_KEYS))
+
+register(AlgorithmSpec(
+    name="power-method", factory=_class_factory(PowerMethod),
+    description="Jeh & Widom all-pairs oracle (O(n²) memory; small graphs only).",
+    index_based=True, supports_persistence=True,
+    config_keys=("decay", "tolerance", "max_iterations")))
+
+register(AlgorithmSpec(
+    name="mc", factory=_class_factory(MonteCarloSimRank),
+    description="Monte-Carlo walk index (Fogaras & Rácz).",
+    index_based=True, supports_persistence=True, sweep_parameter="walks_per_node",
+    sweep_cast=int, config_keys=("decay", "walks_per_node", "walk_length", "seed")))
+
+register(AlgorithmSpec(
+    name="linearization", factory=_class_factory(LinearizationSimRank),
+    description="Maehara et al. linearization with MC-preprocessed diagonal.",
+    index_based=True, supports_persistence=True, sweep_parameter="samples_per_node",
+    sweep_cast=int, config_keys=("decay", "epsilon", "samples_per_node", "seed")))
+
+register(AlgorithmSpec(
+    name="parsim", factory=_class_factory(ParSim),
+    description="ParSim: index-free linearized iteration with D ≈ (1 − c)·I.",
+    index_based=False, sweep_parameter="iterations",
+    sweep_cast=int, config_keys=("decay", "iterations")))
+
+register(AlgorithmSpec(
+    name="prsim", factory=_class_factory(PRSim),
+    description="PRSim: partial hub index over reverse ℓ-hop PPR (Wei et al.).",
+    index_based=True, supports_persistence=True, sweep_parameter="epsilon",
+    config_keys=("decay", "epsilon", "hub_fraction", "seed")))
+
+register(AlgorithmSpec(
+    name="probesim", factory=_class_factory(ProbeSim),
+    description="ProbeSim: index-free sampling + batched local probing (Liu et al.).",
+    index_based=False, sweep_parameter="num_walks",
+    sweep_cast=int, config_keys=("decay", "num_walks", "max_steps", "probe_threshold", "seed")))
+
+register(AlgorithmSpec(
+    name="sling", factory=_class_factory(SLING),
+    description="SLING: full reverse hop-probability index (Tian & Xiao).",
+    index_based=True, supports_persistence=True, sweep_parameter="epsilon",
+    config_keys=("decay", "epsilon", "samples_per_node", "seed")))
+
+
+__all__ = [
+    "AlgorithmSpec",
+    "available",
+    "create",
+    "describe_all",
+    "get_spec",
+    "register",
+]

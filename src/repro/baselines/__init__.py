@@ -1,6 +1,10 @@
 """Baseline single-source SimRank algorithms used in the paper's evaluation."""
 
-from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.base import (
+    INDEX_FORMAT_VERSION,
+    IndexPersistenceError,
+    SimRankAlgorithm,
+)
 from repro.baselines.power_method import PowerMethod, simrank_matrix
 from repro.baselines.monte_carlo import MonteCarloSimRank
 from repro.baselines.linearization import LinearizationSimRank
@@ -11,6 +15,8 @@ from repro.baselines.sling import SLING
 
 __all__ = [
     "SimRankAlgorithm",
+    "IndexPersistenceError",
+    "INDEX_FORMAT_VERSION",
     "PowerMethod",
     "simrank_matrix",
     "MonteCarloSimRank",

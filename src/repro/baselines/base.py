@@ -1,19 +1,57 @@
 """Common interface shared by every SimRank algorithm in the library.
 
 The experiment harness treats all methods uniformly: index-based methods
-(MC, Linearization, PRSim) pay a measurable preprocessing cost and carry an
-index whose size Figure 4/8 plots; index-free methods (ExactSim, ParSim,
-ProbeSim) answer queries directly.  The abstract base class captures that
-contract so drivers can sweep over heterogeneous algorithm instances.
+(MC, Linearization, PRSim, SLING) pay a measurable preprocessing cost and
+carry an index whose size Figure 4/8 plots; index-free methods (ExactSim,
+ParSim, ProbeSim) answer queries directly.  The abstract base class captures
+that contract so drivers can sweep over heterogeneous algorithm instances.
+
+Four pieces of the contract live here so every method honours them the same
+way:
+
+* **Shared graph context** — algorithms receive (or lazily obtain) a
+  :class:`~repro.graph.context.GraphContext` and take their
+  :class:`TransitionOperator` from it, so ten algorithm instances on one
+  graph build the CSR transition matrices once, not ten times.
+* **Idempotent, timed preprocessing** — subclasses implement
+  :meth:`_build_index`; the public :meth:`preprocess` wrapper times it,
+  records ``preprocessing_seconds`` and never rebuilds an existing index
+  unless asked (``force=True``).
+* **Batched queries** — :meth:`single_source_batch` answers many sources in
+  one call.  The default implementation loops over :meth:`single_source`
+  (bit-identical to sequential queries); methods with a genuinely vectorized
+  batch path (ExactSim) override it.
+* **Index persistence** — :meth:`save_index` / :meth:`load_index` write and
+  read an npz snapshot of the method's index so expensive preprocessing
+  survives the process.  Subclasses expose their index through the
+  ``_index_payload`` / ``_restore_index`` hooks; the base class handles the
+  envelope (format version, algorithm name, decay and a graph fingerprint,
+  all verified on load).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.core.result import SingleSourceResult, TopKResult
+import numpy as np
+
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
+from repro.utils.timing import Timer
+
+if TYPE_CHECKING:  # imported lazily to keep baselines ↔ core import-cycle free
+    from repro.core.result import SingleSourceResult, TopKResult
+
+#: Version tag written into every index file; bumped on layout changes.
+INDEX_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class IndexPersistenceError(RuntimeError):
+    """Raised when an index cannot be saved or loaded."""
 
 
 class SimRankAlgorithm(abc.ABC):
@@ -24,19 +62,38 @@ class SimRankAlgorithm(abc.ABC):
     #: Whether the method builds an index in a preprocessing phase.
     index_based: bool = False
 
-    def __init__(self, graph: DiGraph, *, decay: float = 0.6):
+    def __init__(self, graph: DiGraph, *, decay: float = 0.6,
+                 context: Optional[GraphContext] = None):
+        if context is not None and context.graph is not graph \
+                and context.graph != graph:
+            raise ValueError("context was built for a different graph")
         self.graph = graph
         self.decay = decay
+        self.context = context if context is not None else GraphContext.shared(graph)
         self.preprocessing_seconds: float = 0.0
         self._prepared = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def preprocess(self) -> "SimRankAlgorithm":
-        """Build the index (no-op for index-free methods).  Returns ``self``."""
+    def preprocess(self, *, force: bool = False) -> "SimRankAlgorithm":
+        """Build the index (no-op for index-free methods).  Returns ``self``.
+
+        Idempotent: a second call returns immediately unless ``force=True``,
+        so callers can invoke it defensively without re-paying preprocessing
+        (or perturbing the RNG stream of sampling-based index builds).
+        """
+        if self._prepared and not force:
+            return self
+        timer = Timer()
+        with timer:
+            self._build_index()
+        self.preprocessing_seconds = timer.elapsed
         self._prepared = True
         return self
+
+    def _build_index(self) -> None:
+        """Subclass hook: build the method's index (no-op for index-free)."""
 
     @property
     def prepared(self) -> bool:
@@ -53,8 +110,102 @@ class SimRankAlgorithm(abc.ABC):
     def single_source(self, source: int) -> SingleSourceResult:
         """Answer a single-source query (implicitly preprocessing if needed)."""
 
+    def single_source_batch(self, sources: Sequence[int]) -> List[SingleSourceResult]:
+        """Answer one query per entry of ``sources``.
+
+        The default implementation preprocesses once and loops over
+        :meth:`single_source`, which makes it exactly equivalent to issuing
+        the queries sequentially (including the RNG stream of sampling-based
+        methods).  Methods with a vectorized multi-source path override this.
+        """
+        self.ensure_prepared()
+        return [self.single_source(int(source)) for source in sources]
+
     def top_k(self, source: int, k: int = 500) -> TopKResult:
         return self.single_source(source).top_k(k)
+
+    # ------------------------------------------------------------------ #
+    # index persistence
+    # ------------------------------------------------------------------ #
+    def _index_payload(self) -> Dict[str, np.ndarray]:
+        """Subclass hook: the index as a flat dict of arrays (npz entries)."""
+        raise IndexPersistenceError(
+            f"{self.name} does not implement index persistence")
+
+    def _restore_index(self, payload: Mapping[str, np.ndarray]) -> None:
+        """Subclass hook: rebuild the in-memory index from ``payload``."""
+        raise IndexPersistenceError(
+            f"{self.name} does not implement index persistence")
+
+    def save_index(self, path: PathLike) -> Path:
+        """Persist the method's index to ``path`` (npz), preprocessing if needed.
+
+        The file carries the algorithm name, decay, a fingerprint of the
+        graph and the recorded preprocessing time, all of which
+        :meth:`load_index` verifies — loading a PRSim index into SLING, or an
+        index built on a different graph, fails loudly instead of silently
+        returning wrong scores.
+        """
+        if not self.index_based:
+            raise IndexPersistenceError(
+                f"{self.name} is index-free; there is no index to save")
+        self.ensure_prepared()
+        payload = self._index_payload()
+        envelope = {
+            "_meta_version": np.int64(INDEX_FORMAT_VERSION),
+            "_meta_algorithm": np.array(self.name),
+            "_meta_decay": np.float64(self.decay),
+            "_meta_fingerprint": self.graph.fingerprint(),
+            "_meta_preprocessing_seconds": np.float64(self.preprocessing_seconds),
+        }
+        overlap = set(envelope) & set(payload)
+        if overlap:
+            raise IndexPersistenceError(f"payload uses reserved keys {sorted(overlap)}")
+        path = Path(path)
+        if path.suffix != ".npz":
+            # np.savez would silently append the suffix; normalize first so
+            # the returned path is the file actually written.
+            path = path.with_name(path.name + ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, **envelope, **payload)
+        return path
+
+    def load_index(self, path: PathLike) -> "SimRankAlgorithm":
+        """Load an index previously written by :meth:`save_index`.
+
+        Verifies the format version, algorithm name, decay and graph
+        fingerprint before handing the payload to the subclass, then marks
+        the instance prepared.  Returns ``self``.
+        """
+        if not self.index_based:
+            raise IndexPersistenceError(
+                f"{self.name} is index-free; there is no index to load")
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key] for key in data.files}
+        version = int(payload.pop("_meta_version", -1))
+        if version != INDEX_FORMAT_VERSION:
+            raise IndexPersistenceError(
+                f"{path}: unsupported index format version {version} "
+                f"(expected {INDEX_FORMAT_VERSION})")
+        algorithm = str(payload.pop("_meta_algorithm"))
+        if algorithm != self.name:
+            raise IndexPersistenceError(
+                f"{path}: index was built by {algorithm!r}, not {self.name!r}")
+        decay = float(payload.pop("_meta_decay"))
+        if not np.isclose(decay, self.decay):
+            raise IndexPersistenceError(
+                f"{path}: index was built with decay {decay}, "
+                f"instance uses {self.decay}")
+        fingerprint = payload.pop("_meta_fingerprint")
+        if not np.array_equal(fingerprint, self.graph.fingerprint()):
+            raise IndexPersistenceError(
+                f"{path}: index was built on a different graph")
+        preprocessing_seconds = float(payload.pop("_meta_preprocessing_seconds"))
+        self._restore_index(payload)
+        self.preprocessing_seconds = preprocessing_seconds
+        self._prepared = True
+        return self
 
     # ------------------------------------------------------------------ #
     # accounting
@@ -71,4 +222,4 @@ class SimRankAlgorithm(abc.ABC):
         return f"{type(self).__name__}(graph={self.graph.name!r}, decay={self.decay})"
 
 
-__all__ = ["SimRankAlgorithm"]
+__all__ = ["SimRankAlgorithm", "IndexPersistenceError", "INDEX_FORMAT_VERSION"]

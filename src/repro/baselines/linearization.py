@@ -14,15 +14,15 @@ sweeps: the D estimation error scales as 1/sqrt(samples_per_node).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
 from repro.core.result import SingleSourceResult
 from repro.diagonal.basic import estimate_diagonal_basic
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
-from repro.graph.transition import TransitionOperator
 from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.rng import SeedLike
@@ -37,8 +37,9 @@ class LinearizationSimRank(SimRankAlgorithm):
     index_based = True
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, epsilon: float = 1e-3,
-                 samples_per_node: Optional[int] = None, seed: SeedLike = None):
-        super().__init__(graph, decay=decay)
+                 samples_per_node: Optional[int] = None, seed: SeedLike = None,
+                 context: Optional[GraphContext] = None):
+        super().__init__(graph, decay=decay, context=context)
         self.epsilon = float(epsilon)
         if samples_per_node is None:
             # The paper's setting: O(log n / ε²) pairs per node; the constant is
@@ -48,7 +49,7 @@ class LinearizationSimRank(SimRankAlgorithm):
             samples_per_node = min(samples_per_node, 20_000)
         self.samples_per_node = check_positive_int(samples_per_node, "samples_per_node")
         self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
-        self._operator = TransitionOperator(graph, decay)
+        self._operator = self.context.operator(decay)
         self._diagonal: Optional[np.ndarray] = None
 
     def num_iterations(self) -> int:
@@ -57,15 +58,25 @@ class LinearizationSimRank(SimRankAlgorithm):
     # ------------------------------------------------------------------ #
     # preprocessing: estimate D everywhere
     # ------------------------------------------------------------------ #
-    def preprocess(self) -> "LinearizationSimRank":
-        timer = Timer()
-        with timer:
-            allocation = np.full(self.graph.num_nodes, self.samples_per_node, dtype=np.int64)
-            self._diagonal = estimate_diagonal_basic(
-                self.graph, allocation, decay=self.decay, engine=self._engine)
-        self.preprocessing_seconds = timer.elapsed
-        self._prepared = True
-        return self
+    def _build_index(self) -> None:
+        allocation = np.full(self.graph.num_nodes, self.samples_per_node, dtype=np.int64)
+        self._diagonal = estimate_diagonal_basic(
+            self.graph, allocation, decay=self.decay, engine=self._engine)
+
+    # ------------------------------------------------------------------ #
+    # persistence: the index is the estimated diagonal
+    # ------------------------------------------------------------------ #
+    def _index_payload(self) -> Dict[str, np.ndarray]:
+        assert self._diagonal is not None
+        return {"diagonal": self._diagonal,
+                "samples_per_node": np.int64(self.samples_per_node)}
+
+    def _restore_index(self, payload: Mapping[str, np.ndarray]) -> None:
+        diagonal = np.asarray(payload["diagonal"], dtype=np.float64)
+        if diagonal.shape != (self.graph.num_nodes,):
+            raise IndexPersistenceError("diagonal has incompatible length")
+        self._diagonal = diagonal
+        self.samples_per_node = int(payload["samples_per_node"])
 
     # ------------------------------------------------------------------ #
     # query: same back-substitution as ExactSim, with the global D

@@ -14,12 +14,13 @@ at the exactness target.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
 from repro.core.result import SingleSourceResult
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.rng import SeedLike
@@ -34,8 +35,9 @@ class MonteCarloSimRank(SimRankAlgorithm):
     index_based = True
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, walks_per_node: int = 100,
-                 walk_length: int = 10, seed: SeedLike = None):
-        super().__init__(graph, decay=decay)
+                 walk_length: int = 10, seed: SeedLike = None,
+                 context: Optional[GraphContext] = None):
+        super().__init__(graph, decay=decay, context=context)
         self.walks_per_node = check_positive_int(walks_per_node, "walks_per_node")
         self.walk_length = check_positive_int(walk_length, "walk_length")
         self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
@@ -46,22 +48,33 @@ class MonteCarloSimRank(SimRankAlgorithm):
     # ------------------------------------------------------------------ #
     # preprocessing
     # ------------------------------------------------------------------ #
-    def preprocess(self) -> "MonteCarloSimRank":
-        timer = Timer()
-        with timer:
-            num_nodes = self.graph.num_nodes
-            index = np.full((self.walk_length + 1, self.walks_per_node, num_nodes),
-                            -1, dtype=np.int32)
-            # Simulate all walks of one "replica" r simultaneously: one start
-            # node per graph node, advanced in lock-step by the engine.
-            starts = np.arange(num_nodes, dtype=np.int64)
-            for replica in range(self.walks_per_node):
-                batch = self._engine.walks_from_nodes(starts, max_steps=self.walk_length)
-                index[:, replica, :] = batch.positions.astype(np.int32)
+    def _build_index(self) -> None:
+        num_nodes = self.graph.num_nodes
+        index = np.full((self.walk_length + 1, self.walks_per_node, num_nodes),
+                        -1, dtype=np.int32)
+        # Simulate all walks of one "replica" r simultaneously: one start
+        # node per graph node, advanced in lock-step by the engine.
+        starts = np.arange(num_nodes, dtype=np.int64)
+        for replica in range(self.walks_per_node):
+            batch = self._engine.walks_from_nodes(starts, max_steps=self.walk_length)
+            index[:, replica, :] = batch.positions.astype(np.int32)
         self._index = index
-        self.preprocessing_seconds = timer.elapsed
-        self._prepared = True
-        return self
+
+    # ------------------------------------------------------------------ #
+    # persistence: the walk store is one dense int32 array
+    # ------------------------------------------------------------------ #
+    def _index_payload(self) -> Dict[str, np.ndarray]:
+        assert self._index is not None
+        return {"walks": self._index}
+
+    def _restore_index(self, payload: Mapping[str, np.ndarray]) -> None:
+        walks = np.asarray(payload["walks"], dtype=np.int32)
+        if walks.ndim != 3 or walks.shape[2] != self.graph.num_nodes:
+            raise IndexPersistenceError("walk store has incompatible shape")
+        # Adopt the stored walk parameters: they are properties of the index.
+        self.walk_length = int(walks.shape[0] - 1)
+        self.walks_per_node = int(walks.shape[1])
+        self._index = walks
 
     # ------------------------------------------------------------------ #
     # queries

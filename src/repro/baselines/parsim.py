@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional
+
 from repro.baselines.base import SimRankAlgorithm
 from repro.core.result import SingleSourceResult
 from repro.diagonal.parsim_approx import parsim_diagonal
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
-from repro.graph.transition import TransitionOperator
 from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.utils.timing import Timer
 from repro.utils.validation import check_node_index, check_positive_int
@@ -29,10 +31,11 @@ class ParSim(SimRankAlgorithm):
     name = "parsim"
     index_based = False
 
-    def __init__(self, graph: DiGraph, *, decay: float = 0.6, iterations: int = 20):
-        super().__init__(graph, decay=decay)
+    def __init__(self, graph: DiGraph, *, decay: float = 0.6, iterations: int = 20,
+                 context: Optional[GraphContext] = None):
+        super().__init__(graph, decay=decay, context=context)
         self.iterations = check_positive_int(iterations, "iterations")
-        self._operator = TransitionOperator(graph, decay)
+        self._operator = self.context.operator(decay)
         self._diagonal = parsim_diagonal(graph, decay=decay)
 
     def single_source(self, source: int) -> SingleSourceResult:

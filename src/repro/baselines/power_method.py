@@ -16,12 +16,13 @@ ExactSim.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
 from repro.core.result import SingleSourceResult
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.graph.transition import TransitionOperator
 from repro.utils.timing import Timer
@@ -29,7 +30,8 @@ from repro.utils.validation import check_node_index, check_positive
 
 
 def simrank_matrix(graph: DiGraph, *, decay: float = 0.6, tolerance: float = 1e-10,
-                   max_iterations: int = 100) -> np.ndarray:
+                   max_iterations: int = 100,
+                   operator: Optional[TransitionOperator] = None) -> np.ndarray:
     """The exact SimRank matrix of ``graph`` by the power method.
 
     Iterates until the worst-case remaining error c^t drops below
@@ -41,7 +43,8 @@ def simrank_matrix(graph: DiGraph, *, decay: float = 0.6, tolerance: float = 1e-
     if num_nodes == 0:
         return np.zeros((0, 0), dtype=np.float64)
 
-    operator = TransitionOperator(graph, decay)
+    if operator is None:
+        operator = TransitionOperator(graph, decay)
     transition = operator.matrix          # P (sparse)
     similarity = np.eye(num_nodes, dtype=np.float64)
     iterations = min(max_iterations,
@@ -61,21 +64,31 @@ class PowerMethod(SimRankAlgorithm):
     index_based = True
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, tolerance: float = 1e-10,
-                 max_iterations: int = 100):
-        super().__init__(graph, decay=decay)
+                 max_iterations: int = 100, context: Optional[GraphContext] = None):
+        super().__init__(graph, decay=decay, context=context)
         self.tolerance = tolerance
         self.max_iterations = max_iterations
         self._matrix: Optional[np.ndarray] = None
 
-    def preprocess(self) -> "PowerMethod":
-        timer = Timer()
-        with timer:
-            self._matrix = simrank_matrix(self.graph, decay=self.decay,
-                                          tolerance=self.tolerance,
-                                          max_iterations=self.max_iterations)
-        self.preprocessing_seconds = timer.elapsed
-        self._prepared = True
-        return self
+    def _build_index(self) -> None:
+        self._matrix = simrank_matrix(self.graph, decay=self.decay,
+                                      tolerance=self.tolerance,
+                                      max_iterations=self.max_iterations,
+                                      operator=self.context.operator(self.decay))
+
+    # ------------------------------------------------------------------ #
+    # persistence: the index is the full SimRank matrix
+    # ------------------------------------------------------------------ #
+    def _index_payload(self) -> Dict[str, np.ndarray]:
+        assert self._matrix is not None
+        return {"matrix": self._matrix}
+
+    def _restore_index(self, payload: Mapping[str, np.ndarray]) -> None:
+        matrix = np.asarray(payload["matrix"], dtype=np.float64)
+        expected = (self.graph.num_nodes, self.graph.num_nodes)
+        if matrix.shape != expected:
+            raise IndexPersistenceError("similarity matrix has incompatible shape")
+        self._matrix = matrix
 
     @property
     def matrix(self) -> np.ndarray:

@@ -14,10 +14,13 @@ the visited node — to the score vector.  ``num_walks`` controls the variance
 and is the method's accuracy knob (the paper's query-time O(n log n/ε²) term
 comes precisely from this sampling).
 
-Each probe is a sparse frontier propagation through the vectorized CSR
-kernels (:func:`repro.kernels.propagate_transpose`, the ``Pᵀ`` direction)
-instead of a dense matrix-vector product, so its cost is proportional to the
-probe's support rather than to the number of edges in the graph.
+All probes of one step are issued *simultaneously*: the candidate meeting
+nodes of a step become the rows of one COO batch that the batched transpose
+kernel (:func:`repro.kernels.propagate_batch_transpose`, the ``Pᵀ``
+direction) expands through shared CSR slices — the same batching PRSim's
+query-time on-the-fly phase uses — so the per-step cost is one
+gather/scatter pass over the union of all probe frontiers instead of one
+kernel call per meeting node.
 """
 
 from __future__ import annotations
@@ -29,9 +32,9 @@ import numpy as np
 from repro.baselines.base import SimRankAlgorithm
 from repro.core.result import SingleSourceResult
 from repro.diagonal.parsim_approx import parsim_diagonal
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
-from repro.graph.transition import TransitionOperator
-from repro.kernels.frontier import propagate_transpose
+from repro.kernels.frontier import propagate_batch_transpose, propagate_transpose
 from repro.kernels.sparsevec import SparseVector
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.rng import SeedLike
@@ -47,12 +50,12 @@ class ProbeSim(SimRankAlgorithm):
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, num_walks: int = 200,
                  max_steps: int = 12, probe_threshold: float = 1e-4,
-                 seed: SeedLike = None):
-        super().__init__(graph, decay=decay)
+                 seed: SeedLike = None, context: Optional[GraphContext] = None):
+        super().__init__(graph, decay=decay, context=context)
         self.num_walks = check_positive_int(num_walks, "num_walks")
         self.max_steps = check_positive_int(max_steps, "max_steps")
         self.probe_threshold = float(probe_threshold)
-        self._operator = TransitionOperator(graph, decay)
+        self._operator = self.context.operator(decay)
         self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
         # ProbeSim uses the cheap diagonal approximation with exact trivial nodes.
         self._diagonal = parsim_diagonal(graph, decay=decay, exact_trivial_nodes=True)
@@ -70,11 +73,9 @@ class ProbeSim(SimRankAlgorithm):
                 if visited.size == 0:
                     break
                 counts = np.bincount(visited, minlength=self.graph.num_nodes)
-                for meeting_node in np.flatnonzero(counts):
-                    meeting_node = int(meeting_node)
-                    probe = self._probe(meeting_node, step)
-                    probe.add_into(scores, scale * counts[meeting_node] *
-                                   self._diagonal[meeting_node])
+                meeting_nodes = np.flatnonzero(counts)
+                self._accumulate_probe_batch(scores, meeting_nodes, step,
+                                             counts, scale)
             np.clip(scores, 0.0, 1.0, out=scores)
             scores[source] = 1.0
         return SingleSourceResult(source=source, scores=scores, algorithm=self.name,
@@ -82,12 +83,42 @@ class ProbeSim(SimRankAlgorithm):
                                   stats={"num_walks": float(self.num_walks),
                                          "max_steps": float(self.max_steps)})
 
+    def _accumulate_probe_batch(self, scores: np.ndarray, meeting_nodes: np.ndarray,
+                                level: int, counts: np.ndarray, scale: float) -> None:
+        """Add the depth-``level`` probes of all ``meeting_nodes`` at once.
+
+        The COO batch (meeting-node row, node, mass) expands through shared
+        CSR slices once per step; the ``probe_threshold`` mask after every
+        step is semantically identical to the per-probe ``filtered``
+        pruning of the sequential implementation.
+        """
+        if meeting_nodes.size == 0:
+            return
+        sqrt_c = self._operator.sqrt_c
+        num_nodes = self.graph.num_nodes
+        rows = np.arange(meeting_nodes.shape[0], dtype=np.int64)
+        cols = meeting_nodes.astype(np.int64, copy=False)
+        vals = np.ones(meeting_nodes.shape[0], dtype=np.float64)
+        for _ in range(level):
+            if rows.size == 0:
+                return
+            rows, cols, vals, _ = propagate_batch_transpose(
+                self.graph.out_indptr, self.graph.out_indices,
+                self.graph.in_degrees, rows, cols, vals, num_nodes=num_nodes)
+            vals *= sqrt_c
+            if self.probe_threshold > 0.0:
+                keep = vals >= self.probe_threshold
+                rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        weights = (scale * (1.0 - sqrt_c) * counts[meeting_nodes] *
+                   self._diagonal[meeting_nodes])
+        scores += np.bincount(cols, weights=vals * weights[rows],
+                              minlength=num_nodes)
+
     def _probe(self, node: int, level: int) -> SparseVector:
         """π_·^level(node) as a sparse vector (truncated reverse probe).
 
-        One vectorized CSR frontier step per level; entries below
-        ``probe_threshold`` are masked out exactly as the seed's dense
-        implementation zeroed them.
+        The sequential reference the batched accumulation replaces; kept for
+        the tests that pin batched ≡ sequential probing.
         """
         sqrt_c = self._operator.sqrt_c
         frontier = SparseVector(np.array([node], dtype=np.int64),

@@ -28,15 +28,15 @@ through shared CSR slices by the batched kernel
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 from scipy import sparse
 
-from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
 from repro.core.result import SingleSourceResult
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
-from repro.graph.transition import TransitionOperator
 from repro.kernels.frontier import propagate_batch_transpose, propagate_transpose
 from repro.kernels.sparsevec import SparseVector
 from repro.ppr.hop_ppr import hop_ppr_vectors
@@ -55,12 +55,13 @@ class PRSim(SimRankAlgorithm):
     index_based = True
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, epsilon: float = 1e-3,
-                 hub_fraction: float = 0.1, seed: SeedLike = None):
-        super().__init__(graph, decay=decay)
+                 hub_fraction: float = 0.1, seed: SeedLike = None,
+                 context: Optional[GraphContext] = None):
+        super().__init__(graph, decay=decay, context=context)
         self.epsilon = float(epsilon)
         self.hub_fraction = check_probability(hub_fraction, "hub_fraction",
                                               inclusive_low=False)
-        self._operator = TransitionOperator(graph, decay)
+        self._operator = self.context.operator(decay)
         self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
         self._hubs: Optional[np.ndarray] = None
         self._hub_index: Dict[int, List[sparse.csr_matrix]] = {}
@@ -99,32 +100,91 @@ class PRSim(SimRankAlgorithm):
             frontier = frontier.scaled(sqrt_c)
         return vectors
 
-    def preprocess(self) -> "PRSim":
-        timer = Timer()
-        with timer:
-            num_nodes = self.graph.num_nodes
-            iterations = self.num_iterations()
-            rank = pagerank(self.graph)
-            num_hubs = max(1, int(np.ceil(self.hub_fraction * num_nodes)))
-            hubs = np.argsort(-rank)[:num_hubs]
-            threshold = (1.0 - self._operator.sqrt_c) ** 2 * self.epsilon
+    def _build_index(self) -> None:
+        num_nodes = self.graph.num_nodes
+        iterations = self.num_iterations()
+        rank = pagerank(self.graph)
+        num_hubs = max(1, int(np.ceil(self.hub_fraction * num_nodes)))
+        hubs = np.argsort(-rank)[:num_hubs]
+        threshold = (1.0 - self._operator.sqrt_c) ** 2 * self.epsilon
 
-            diagonal = np.full(num_nodes, 1.0 - self.decay, dtype=np.float64)
-            diagonal[self.graph.in_degrees == 0] = 1.0
-            samples = max(16, min(int(np.ceil(1.0 / self.epsilon)), 5_000))
-            hub_index: Dict[int, List[sparse.csr_matrix]] = {}
-            for hub in hubs:
-                hub = int(hub)
-                hub_index[hub] = self._reverse_hop_vectors(hub, iterations, threshold)
-                if self.graph.in_degree(hub) > 1:
-                    diagonal[hub] = estimate_diagonal_entry(
-                        self.graph, hub, samples, decay=self.decay, engine=self._engine)
-            self._hubs = hubs.astype(np.int64)
-            self._hub_index = hub_index
-            self._diagonal = diagonal
-        self.preprocessing_seconds = timer.elapsed
-        self._prepared = True
-        return self
+        diagonal = np.full(num_nodes, 1.0 - self.decay, dtype=np.float64)
+        diagonal[self.graph.in_degrees == 0] = 1.0
+        samples = max(16, min(int(np.ceil(1.0 / self.epsilon)), 5_000))
+        hub_index: Dict[int, List[sparse.csr_matrix]] = {}
+        for hub in hubs:
+            hub = int(hub)
+            hub_index[hub] = self._reverse_hop_vectors(hub, iterations, threshold)
+            if self.graph.in_degree(hub) > 1:
+                diagonal[hub] = estimate_diagonal_entry(
+                    self.graph, hub, samples, decay=self.decay, engine=self._engine)
+        self._hubs = hubs.astype(np.int64)
+        self._hub_index = hub_index
+        self._diagonal = diagonal
+
+    # ------------------------------------------------------------------ #
+    # persistence: hubs + diagonal + the hub index as flat COO triplets
+    # ------------------------------------------------------------------ #
+    def _index_payload(self) -> Dict[str, np.ndarray]:
+        assert self._hubs is not None and self._diagonal is not None
+        positions: List[np.ndarray] = []
+        levels: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+        for position, hub in enumerate(self._hubs):
+            for level, vector in enumerate(self._hub_index[int(hub)]):
+                nnz = vector.nnz
+                positions.append(np.full(nnz, position, dtype=np.int64))
+                levels.append(np.full(nnz, level, dtype=np.int64))
+                cols.append(vector.indices.astype(np.int64))
+                vals.append(vector.data.astype(np.float64))
+        concat = (lambda parts, dtype: np.concatenate(parts)
+                  if parts else np.empty(0, dtype=dtype))
+        return {
+            "hubs": self._hubs,
+            "diagonal": self._diagonal,
+            "epsilon": np.float64(self.epsilon),
+            "hub_fraction": np.float64(self.hub_fraction),
+            "hub_positions": concat(positions, np.int64),
+            "hub_levels": concat(levels, np.int64),
+            "hub_cols": concat(cols, np.int64),
+            "hub_vals": concat(vals, np.float64),
+        }
+
+    def _restore_index(self, payload: Mapping[str, np.ndarray]) -> None:
+        diagonal = np.asarray(payload["diagonal"], dtype=np.float64)
+        if diagonal.shape != (self.graph.num_nodes,):
+            raise IndexPersistenceError("diagonal has incompatible length")
+        # ε and the hub set are properties of the stored index: the query-time
+        # iteration depth and thresholds must match the build, so adopt them.
+        self.epsilon = float(payload["epsilon"])
+        self.hub_fraction = float(payload["hub_fraction"])
+        hubs = np.asarray(payload["hubs"], dtype=np.int64)
+        iterations = self.num_iterations()
+        num_nodes = self.graph.num_nodes
+
+        positions = np.asarray(payload["hub_positions"], dtype=np.int64)
+        levels = np.asarray(payload["hub_levels"], dtype=np.int64)
+        cols = np.asarray(payload["hub_cols"], dtype=np.int64)
+        vals = np.asarray(payload["hub_vals"], dtype=np.float64)
+        order = np.lexsort((cols, levels, positions))
+        positions, levels = positions[order], levels[order]
+        cols, vals = cols[order], vals[order]
+
+        hub_index: Dict[int, List[sparse.csr_matrix]] = {}
+        keys = positions * np.int64(iterations + 1) + levels
+        for position, hub in enumerate(hubs):
+            vectors: List[sparse.csr_matrix] = []
+            for level in range(iterations + 1):
+                lo = int(np.searchsorted(keys, position * (iterations + 1) + level))
+                hi = int(np.searchsorted(keys, position * (iterations + 1) + level + 1))
+                vectors.append(sparse.csr_matrix(
+                    (vals[lo:hi], (np.zeros(hi - lo, dtype=np.int64), cols[lo:hi])),
+                    shape=(1, num_nodes)))
+            hub_index[int(hub)] = vectors
+        self._hubs = hubs
+        self._hub_index = hub_index
+        self._diagonal = diagonal
 
     # ------------------------------------------------------------------ #
     # query

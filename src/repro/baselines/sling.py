@@ -25,16 +25,16 @@ frontiers are sparse, which is the other baselines' probes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 from scipy import sparse
 
-from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
 from repro.core.result import SingleSourceResult
 from repro.diagonal.basic import estimate_diagonal_basic
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
-from repro.graph.transition import TransitionOperator
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Timer
@@ -48,13 +48,14 @@ class SLING(SimRankAlgorithm):
     index_based = True
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, epsilon: float = 1e-2,
-                 samples_per_node: Optional[int] = None, seed: SeedLike = None):
-        super().__init__(graph, decay=decay)
+                 samples_per_node: Optional[int] = None, seed: SeedLike = None,
+                 context: Optional[GraphContext] = None):
+        super().__init__(graph, decay=decay, context=context)
         self.epsilon = float(epsilon)
         if samples_per_node is None:
             samples_per_node = min(int(np.ceil(1.0 / max(self.epsilon, 1e-6))), 10_000)
         self.samples_per_node = int(samples_per_node)
-        self._operator = TransitionOperator(graph, decay)
+        self._operator = self.context.operator(decay)
         self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
         self._diagonal: Optional[np.ndarray] = None
         # _hop_matrices[ℓ] is a CSR matrix H_ℓ with H_ℓ[k, j] ≈ (√c Pᵀ)^ℓ[k, j],
@@ -67,33 +68,62 @@ class SLING(SimRankAlgorithm):
     # ------------------------------------------------------------------ #
     # preprocessing
     # ------------------------------------------------------------------ #
-    def preprocess(self) -> "SLING":
-        timer = Timer()
-        with timer:
-            allocation = np.full(self.graph.num_nodes, self.samples_per_node, dtype=np.int64)
-            self._diagonal = estimate_diagonal_basic(
-                self.graph, allocation, decay=self.decay, engine=self._engine)
+    def _build_index(self) -> None:
+        allocation = np.full(self.graph.num_nodes, self.samples_per_node, dtype=np.int64)
+        self._diagonal = estimate_diagonal_basic(
+            self.graph, allocation, decay=self.decay, engine=self._engine)
 
-            iterations = self.num_iterations()
-            threshold = (1.0 - self._operator.sqrt_c) * self.epsilon
-            sqrt_c = self._operator.sqrt_c
-            # Dense all-sources propagation: scipy's C matmul is the right
-            # kernel here (see the module docstring); only the stored
-            # snapshots are pruned, and the final expansion is skipped.
-            current = sparse.identity(self.graph.num_nodes, format="csr",
-                                      dtype=np.float64)
-            matrices: List[sparse.csr_matrix] = []
-            for level in range(iterations + 1):
-                pruned = current.copy()
-                pruned.data[pruned.data < threshold] = 0.0
-                pruned.eliminate_zeros()
-                matrices.append(pruned)
-                if level < iterations:
-                    current = (sqrt_c * (current @ self._operator.matrix_t)).tocsr()
-            self._hop_matrices = matrices
-        self.preprocessing_seconds = timer.elapsed
-        self._prepared = True
-        return self
+        iterations = self.num_iterations()
+        threshold = (1.0 - self._operator.sqrt_c) * self.epsilon
+        sqrt_c = self._operator.sqrt_c
+        # Dense all-sources propagation: scipy's C matmul is the right
+        # kernel here (see the module docstring); only the stored
+        # snapshots are pruned, and the final expansion is skipped.
+        current = sparse.identity(self.graph.num_nodes, format="csr",
+                                  dtype=np.float64)
+        matrices: List[sparse.csr_matrix] = []
+        for level in range(iterations + 1):
+            pruned = current.copy()
+            pruned.data[pruned.data < threshold] = 0.0
+            pruned.eliminate_zeros()
+            matrices.append(pruned)
+            if level < iterations:
+                current = (sqrt_c * (current @ self._operator.matrix_t)).tocsr()
+        self._hop_matrices = matrices
+
+    # ------------------------------------------------------------------ #
+    # persistence: diagonal + one CSR triple per hop level
+    # ------------------------------------------------------------------ #
+    def _index_payload(self) -> Dict[str, np.ndarray]:
+        assert self._diagonal is not None
+        payload: Dict[str, np.ndarray] = {
+            "diagonal": self._diagonal,
+            "epsilon": np.float64(self.epsilon),
+            "samples_per_node": np.int64(self.samples_per_node),
+            "num_levels": np.int64(len(self._hop_matrices)),
+        }
+        for level, matrix in enumerate(self._hop_matrices):
+            payload[f"hop{level}_data"] = matrix.data
+            payload[f"hop{level}_indices"] = matrix.indices
+            payload[f"hop{level}_indptr"] = matrix.indptr
+        return payload
+
+    def _restore_index(self, payload: Mapping[str, np.ndarray]) -> None:
+        diagonal = np.asarray(payload["diagonal"], dtype=np.float64)
+        num_nodes = self.graph.num_nodes
+        if diagonal.shape != (num_nodes,):
+            raise IndexPersistenceError("diagonal has incompatible length")
+        # ε drives the query-time iteration count; adopt the build's value.
+        self.epsilon = float(payload["epsilon"])
+        self.samples_per_node = int(payload["samples_per_node"])
+        matrices: List[sparse.csr_matrix] = []
+        for level in range(int(payload["num_levels"])):
+            matrices.append(sparse.csr_matrix(
+                (payload[f"hop{level}_data"], payload[f"hop{level}_indices"],
+                 payload[f"hop{level}_indptr"]),
+                shape=(num_nodes, num_nodes)))
+        self._diagonal = diagonal
+        self._hop_matrices = matrices
 
     # ------------------------------------------------------------------ #
     # query

@@ -1,10 +1,16 @@
 """Command-line interface.
 
-Three subcommands cover the library's day-to-day uses:
+Five subcommands cover the library's day-to-day uses:
 
-* ``repro-simrank datasets`` — print the dataset registry (Table 2);
-* ``repro-simrank query``    — answer a single-source / top-k query on a
-  registered dataset or an edge-list file;
+* ``repro-simrank datasets``   — print the dataset registry (Table 2);
+* ``repro-simrank methods``    — print the algorithm registry;
+* ``repro-simrank query``      — answer single-source / top-k queries with
+  **any registered method** (``--method``), for one source (``--source``) or
+  a batch (``--sources a,b,c``, answered through the vectorized batch path),
+  optionally against a persisted index directory (``--index-dir``);
+* ``repro-simrank index``      — ``index build`` preprocesses an index-based
+  method and saves its index as npz; ``index load`` restores one and
+  optionally answers a query from it;
 * ``repro-simrank experiment`` — regenerate one of the paper's figures or
   tables and print the series as an aligned text table.
 
@@ -16,10 +22,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
 
-from repro.core.config import ExactSimConfig
-from repro.core.exactsim import ExactSim
+from repro.algorithms import registry
+from repro.baselines.base import IndexPersistenceError
 from repro.experiments.figures import (
     fig_ablation_basic_vs_optimized,
     fig_error_vs_index_size,
@@ -30,7 +37,9 @@ from repro.experiments.figures import (
 from repro.experiments.harness import ExperimentSettings
 from repro.experiments.reporting import format_rows, format_series_table
 from repro.experiments.tables import table_dataset_statistics, table_memory_overhead
+from repro.graph.context import GraphContext
 from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
 
 _FIGURE_DRIVERS = {
@@ -46,6 +55,25 @@ _FIGURE_DRIVERS = {
 }
 
 
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    graph_group = parser.add_mutually_exclusive_group(required=True)
+    graph_group.add_argument("--dataset", choices=dataset_names(),
+                             help="registered dataset key")
+    graph_group.add_argument("--edge-list", help="path to an edge-list file")
+
+
+def _add_method_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--method", choices=registry.available(), default="exactsim",
+                        help="algorithm to run (default exactsim)")
+    parser.add_argument("--epsilon", type=float, default=1e-3,
+                        help="additive error target (methods with an ε knob)")
+    parser.add_argument("--decay", type=float, default=0.6, help="SimRank decay factor c")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                        help="extra method-specific config (repeatable), e.g. "
+                             "--param num_walks=500")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-simrank",
@@ -58,20 +86,45 @@ def _build_parser() -> argparse.ArgumentParser:
     datasets_parser.add_argument("--sizes", action="store_true",
                                  help="also generate the synthetic stand-ins and print their sizes")
 
-    query_parser = subparsers.add_parser("query", help="answer a single-source SimRank query")
+    subparsers.add_parser("methods", help="list the registered algorithms")
+
+    query_parser = subparsers.add_parser(
+        "query", help="answer single-source SimRank queries with any registered method")
+    _add_graph_arguments(query_parser)
     source_group = query_parser.add_mutually_exclusive_group(required=True)
-    source_group.add_argument("--dataset", choices=dataset_names(),
-                              help="registered dataset key")
-    source_group.add_argument("--edge-list", help="path to an edge-list file")
-    query_parser.add_argument("--source", type=int, required=True, help="query node id")
-    query_parser.add_argument("--epsilon", type=float, default=1e-3, help="additive error target")
-    query_parser.add_argument("--decay", type=float, default=0.6, help="SimRank decay factor c")
+    source_group.add_argument("--source", type=int, help="query node id")
+    source_group.add_argument("--sources",
+                              help="comma-separated query node ids (batched query)")
+    _add_method_arguments(query_parser)
     query_parser.add_argument("--top-k", type=int, default=10, help="number of results to print")
     query_parser.add_argument("--basic", action="store_true",
                               help="run the basic (unoptimized) ExactSim variant")
-    query_parser.add_argument("--seed", type=int, default=None)
     query_parser.add_argument("--max-samples", type=int, default=500_000,
-                              help="cap on the total number of walk pairs")
+                              help="cap on the total number of walk pairs (ExactSim)")
+    query_parser.add_argument("--index-dir",
+                              help="directory of persisted indices: load the method's "
+                                   "index if present, else build and save it there")
+
+    index_parser = subparsers.add_parser(
+        "index", help="build / load persisted indices of index-based methods")
+    index_subparsers = index_parser.add_subparsers(dest="index_command", required=True)
+
+    build_parser = index_subparsers.add_parser(
+        "build", help="preprocess an index-based method and save its index (npz)")
+    _add_graph_arguments(build_parser)
+    _add_method_arguments(build_parser)
+    build_parser.add_argument("--out", help="output file (default <index-dir>/<graph>.<method>.npz)")
+    build_parser.add_argument("--index-dir", default=".",
+                              help="directory for the default output path")
+
+    load_parser = index_subparsers.add_parser(
+        "load", help="load a persisted index and report (or query) it")
+    _add_graph_arguments(load_parser)
+    _add_method_arguments(load_parser)
+    load_parser.add_argument("--path", required=True, help="index file written by 'index build'")
+    load_parser.add_argument("--source", type=int, default=None,
+                             help="optionally answer one query from the loaded index")
+    load_parser.add_argument("--top-k", type=int, default=10)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures/tables")
@@ -86,35 +139,177 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# --------------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------------- #
+def _load_graph(args: argparse.Namespace) -> DiGraph:
+    if args.dataset:
+        return load_dataset(args.dataset)
+    return read_edge_list(args.edge_list)
+
+
+def _parse_param(item: str) -> tuple:
+    if "=" not in item:
+        raise ValueError(f"--param expects KEY=VALUE, got {item!r}")
+    key, raw = item.split("=", 1)
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("none", "null"):
+        return key, None
+    return key, raw
+
+
+def _method_config(args: argparse.Namespace, method: str) -> Dict[str, Any]:
+    """Assemble the registry config dict from the generic CLI flags."""
+    spec = registry.get_spec(method)
+    config: Dict[str, Any] = {}
+    if "decay" in spec.config_keys:
+        config["decay"] = args.decay
+    if "seed" in spec.config_keys and args.seed is not None:
+        config["seed"] = args.seed
+    if "epsilon" in spec.config_keys:
+        config["epsilon"] = args.epsilon
+    if "max_total_samples" in spec.config_keys:
+        config["max_total_samples"] = getattr(args, "max_samples", None)
+    for item in args.param:
+        key, value = _parse_param(item)
+        config[key] = value
+    return config
+
+
+def _resolve_method(args: argparse.Namespace) -> str:
+    method = args.method
+    if getattr(args, "basic", False):
+        if method != "exactsim":
+            raise ValueError("--basic only applies to --method exactsim")
+        method = "exactsim-basic"
+    return method
+
+
+def _default_index_path(index_dir: str, graph: DiGraph, method: str) -> Path:
+    return Path(index_dir) / f"{graph.name}.{method}.npz"
+
+
+def _print_result(result, graph: DiGraph, top_k: int) -> None:
+    extras = ""
+    if "samples_realised" in result.stats:
+        extras = f" samples={int(result.stats['samples_realised'])}"
+    print(f"# {result.algorithm} on {graph.name}: source={result.source} "
+          f"time={result.query_seconds:.3f}s{extras}")
+    rows = [{"rank": rank + 1, "node": node, "simrank": score}
+            for rank, (node, score) in enumerate(result.top_k(top_k).as_pairs())]
+    print(format_rows(rows, float_format="{:.6f}"))
+
+
+# --------------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------------- #
 def _command_datasets(args: argparse.Namespace) -> int:
     rows = table_dataset_statistics(include_generated_sizes=args.sizes)
     print(format_rows(rows))
     return 0
 
 
+def _command_methods(args: argparse.Namespace) -> int:
+    print(format_rows(registry.describe_all()))
+    return 0
+
+
 def _command_query(args: argparse.Namespace) -> int:
-    if args.dataset:
-        graph = load_dataset(args.dataset)
+    graph = _load_graph(args)
+    if args.sources is not None:
+        try:
+            sources = [int(item) for item in args.sources.split(",") if item.strip()]
+        except ValueError:
+            print(f"error: --sources must be comma-separated integers, "
+                  f"got {args.sources!r}", file=sys.stderr)
+            return 2
     else:
-        graph = read_edge_list(args.edge_list)
-    if args.source < 0 or args.source >= graph.num_nodes:
-        print(f"error: source {args.source} out of range for graph with "
-              f"{graph.num_nodes} nodes", file=sys.stderr)
+        sources = [args.source]
+    for source in sources:
+        if source < 0 or source >= graph.num_nodes:
+            print(f"error: source {source} out of range for graph with "
+                  f"{graph.num_nodes} nodes", file=sys.stderr)
+            return 2
+
+    try:
+        method = _resolve_method(args)
+        algorithm = registry.create(method, graph, _method_config(args, method),
+                                    context=GraphContext.shared(graph))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
 
-    if args.basic:
-        config = ExactSimConfig.basic(epsilon=args.epsilon, decay=args.decay, seed=args.seed,
-                                      max_total_samples=args.max_samples)
-    else:
-        config = ExactSimConfig(epsilon=args.epsilon, decay=args.decay, seed=args.seed,
-                                max_total_samples=args.max_samples)
-    result = ExactSim(graph, config).single_source(args.source)
-    print(f"# {result.algorithm} on {graph.name}: source={args.source} "
-          f"epsilon={args.epsilon:g} time={result.query_seconds:.3f}s "
-          f"samples={int(result.stats['samples_realised'])}")
-    rows = [{"rank": rank + 1, "node": node, "simrank": score}
-            for rank, (node, score) in enumerate(result.top_k(args.top_k).as_pairs())]
-    print(format_rows(rows, float_format="{:.6f}"))
+    spec = registry.get_spec(method)
+    if args.index_dir and spec.supports_persistence:
+        path = _default_index_path(args.index_dir, graph, method)
+        if path.exists():
+            try:
+                algorithm.load_index(path)
+            except IndexPersistenceError as error:
+                print(f"error: cannot use persisted index {path}: {error}\n"
+                      f"       remove the file or rebuild it with "
+                      f"'repro-simrank index build'", file=sys.stderr)
+                return 2
+            print(f"# loaded {method} index from {path} "
+                  f"({algorithm.index_bytes()} bytes)")
+        else:
+            algorithm.preprocess()
+            algorithm.save_index(path)
+            print(f"# built {method} index in {algorithm.preprocessing_seconds:.3f}s "
+                  f"and saved to {path}")
+    elif args.index_dir:
+        print(f"# note: {method} is index-free; --index-dir ignored")
+
+    results = algorithm.single_source_batch(sources)
+    for result in results:
+        _print_result(result, graph, args.top_k)
+    return 0
+
+
+def _command_index_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    try:
+        method = _resolve_method(args)
+        spec = registry.get_spec(method)
+        if not spec.supports_persistence:
+            print(f"error: {method} does not support index persistence",
+                  file=sys.stderr)
+            return 2
+        algorithm = registry.create(method, graph, _method_config(args, method),
+                                    context=GraphContext.shared(graph))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    algorithm.preprocess()
+    target = Path(args.out) if args.out else _default_index_path(args.index_dir, graph, method)
+    path = algorithm.save_index(target)
+    print(f"# {method} index on {graph.name}: {algorithm.index_bytes()} bytes, "
+          f"preprocessing {algorithm.preprocessing_seconds:.3f}s -> {path}")
+    return 0
+
+
+def _command_index_load(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    try:
+        method = _resolve_method(args)
+        algorithm = registry.create(method, graph, _method_config(args, method),
+                                    context=GraphContext.shared(graph))
+        algorithm.load_index(args.path)
+    except (ValueError, IndexPersistenceError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"# loaded {method} index on {graph.name}: {algorithm.index_bytes()} bytes "
+          f"(build time {algorithm.preprocessing_seconds:.3f}s) from {args.path}")
+    if args.source is not None:
+        if args.source < 0 or args.source >= graph.num_nodes:
+            print(f"error: source {args.source} out of range for graph with "
+                  f"{graph.num_nodes} nodes", file=sys.stderr)
+            return 2
+        _print_result(algorithm.single_source(args.source), graph, args.top_k)
     return 0
 
 
@@ -132,10 +327,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_queries=args.queries, top_k=args.top_k,
                                   time_budget_seconds=300, seed=args.seed)
     driver = _FIGURE_DRIVERS[args.target]
-    if args.target == "fig9":
-        series = driver(args.dataset, settings=settings)
-    else:
-        series = driver(args.dataset, settings=settings)
+    series = driver(args.dataset, settings=settings)
     print(format_series_table(series))
     return 0
 
@@ -146,8 +338,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "datasets":
         return _command_datasets(args)
+    if args.command == "methods":
+        return _command_methods(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "index":
+        if args.index_command == "build":
+            return _command_index_build(args)
+        return _command_index_load(args)
     if args.command == "experiment":
         return _command_experiment(args)
     parser.error(f"unknown command {args.command!r}")

@@ -19,14 +19,16 @@ of simulating the R(k) walk pairs it replaces.
 Frontier-kernel design
 ----------------------
 The propagation step behind the recursion is one call into
-:func:`repro.kernels.propagate_distribution`: the sparse distribution lives
-in an array-backed :class:`~repro.kernels.SparseVector`, the in-neighbour
-CSR slices of the whole frontier are gathered with ``np.repeat`` and
-scattered with ``np.bincount`` — no Python loop touches an edge.  The
-:class:`_DistributionCache` still exposes plain ``dict`` distributions to the
-Lemma 4 recursion (which works entry-by-entry on tiny local neighbourhoods)
-and preserves the :class:`BudgetExhausted` edge-budget semantics exactly:
-every traversed edge is charged *before* the next level is materialized.
+:func:`repro.kernels.propagate_distribution`, and the Lemma 4 subtraction
+itself is array-backed: every distribution stays an
+:class:`~repro.kernels.SparseVector` (sorted unique indices), each Z_ℓ level
+is a pair of parallel ``(indices, values)`` arrays, and the inner
+``Σ_{q'} …`` update intersects the support of ``(Pᵀ)^{ℓ-ℓ'}(q', ·)`` with
+the Z_ℓ support via ``np.searchsorted`` — one vectorized subtraction per
+``q'`` instead of one Python dict update per ``(q', q)`` pair.  The
+:class:`_DistributionCache` preserves the :class:`BudgetExhausted`
+edge-budget semantics exactly: every traversed edge is charged *before* the
+next level is materialized.
 """
 
 from __future__ import annotations
@@ -44,23 +46,19 @@ from repro.randomwalk.meeting import estimate_tail_meeting_probability
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_node_index, check_positive_int, check_vector_length
 
-# A sparse probability distribution over nodes.
+# A sparse probability distribution over nodes (the public dict view).
 Distribution = Dict[int, float]
 
 
-def _propagate(graph: DiGraph, distribution: Distribution) -> Tuple[Distribution, int]:
+def _propagate(graph: DiGraph, distribution: SparseVector) -> Tuple[SparseVector, int]:
     """One non-stopping reverse-walk step of ``distribution``.
 
     Returns the new distribution and the number of edges traversed (the cost
     counter E_k of Algorithm 3).  Mass at dangling nodes disappears, matching
-    a √c-walk that stops because it cannot move.  The per-edge work happens
-    inside the vectorized CSR frontier kernel; this wrapper only converts
-    between the ``dict`` view and the array-backed frontier.
+    a √c-walk that stops because it cannot move.
     """
-    frontier = SparseVector.from_dict(distribution)
-    spread, traversed = propagate_distribution(
-        graph.in_indptr, graph.in_indices, frontier, num_nodes=graph.num_nodes)
-    return spread.to_dict(), traversed
+    return propagate_distribution(
+        graph.in_indptr, graph.in_indices, distribution, num_nodes=graph.num_nodes)
 
 
 class BudgetExhausted(Exception):
@@ -79,12 +77,14 @@ class _DistributionCache:
 
     def __init__(self, graph: DiGraph, edge_budget: Optional[float] = None):
         self._graph = graph
-        self._cache: Dict[int, List[Distribution]] = {}
+        self._cache: Dict[int, List[SparseVector]] = {}
         self.traversed_edges = 0
         self.edge_budget = edge_budget
 
-    def distribution(self, start: int, steps: int) -> Distribution:
-        levels = self._cache.setdefault(start, [{start: 1.0}])
+    def distribution(self, start: int, steps: int) -> SparseVector:
+        levels = self._cache.setdefault(
+            start, [SparseVector(np.array([start], dtype=np.int64),
+                                 np.array([1.0], dtype=np.float64))])
         while len(levels) <= steps:
             if self.edge_budget is not None and self.traversed_edges >= self.edge_budget:
                 raise BudgetExhausted()
@@ -92,6 +92,45 @@ class _DistributionCache:
             self.traversed_edges += cost
             levels.append(extended)
         return levels[steps]
+
+
+def _z_level(cache: _DistributionCache, node: int, level: int,
+             z_levels: List[Tuple[np.ndarray, np.ndarray]], decay: float
+             ) -> Tuple[np.ndarray, np.ndarray]:
+    """One level of the Lemma 4 recursion as sorted parallel arrays.
+
+    Z_ℓ(k, q) = c^ℓ (Pᵀ)^ℓ(k, q)² − Σ_{ℓ'<ℓ} Σ_{q'} c^{ℓ-ℓ'}
+    (Pᵀ)^{ℓ-ℓ'}(q', q)² · Z_{ℓ'}(k, q').  The outer sums stay Python loops
+    (each ``q'`` owns its own distribution), but the per-``q`` subtraction is
+    one ``np.searchsorted`` support intersection followed by a vectorized
+    scatter-subtract.  Entries that end up non-positive are dropped, exactly
+    like the dict implementation's ``max(value, 0)`` + filter.
+
+    Raises :class:`BudgetExhausted` from the cache when the edge budget is
+    spent mid-level.
+    """
+    from_k = cache.distribution(node, level)
+    z_indices = from_k.indices.copy()
+    z_values = (decay ** level) * from_k.values * from_k.values
+    for first_meeting_level in range(1, level):
+        prev_indices, prev_values = z_levels[first_meeting_level - 1]
+        remaining = level - first_meeting_level
+        factor = decay ** remaining
+        for q_prime, z_value in zip(prev_indices.tolist(), prev_values.tolist()):
+            if z_value <= 0.0:
+                continue
+            from_q_prime = cache.distribution(q_prime, remaining)
+            positions = np.searchsorted(z_indices, from_q_prime.indices)
+            positions = np.minimum(positions, max(z_indices.shape[0] - 1, 0))
+            hit = (z_indices[positions] == from_q_prime.indices) \
+                if z_indices.size else np.zeros(0, dtype=bool)
+            if not hit.any():
+                continue
+            probabilities = from_q_prime.values[hit]
+            z_values[positions[hit]] -= (z_value * factor) * \
+                probabilities * probabilities
+    keep = z_values > 0.0
+    return z_indices[keep], z_values[keep]
 
 
 @dataclass
@@ -119,25 +158,11 @@ def first_meeting_probabilities(graph: DiGraph, node: int, max_level: int, *,
     node = check_node_index(node, graph.num_nodes)
     max_level = check_positive_int(max_level, "max_level")
     cache = _DistributionCache(graph)
-    z_levels: List[Distribution] = []
+    z_levels: List[Tuple[np.ndarray, np.ndarray]] = []
     for level in range(1, max_level + 1):
-        from_k = cache.distribution(node, level)
-        z_current: Distribution = {
-            q: (decay ** level) * probability * probability
-            for q, probability in from_k.items()
-        }
-        for first_meeting_level in range(1, level):
-            remaining = level - first_meeting_level
-            for q_prime, z_value in z_levels[first_meeting_level - 1].items():
-                if z_value <= 0.0:
-                    continue
-                from_q_prime = cache.distribution(q_prime, remaining)
-                factor = decay ** remaining
-                for q, probability in from_q_prime.items():
-                    if q in z_current:
-                        z_current[q] -= z_value * factor * probability * probability
-        z_levels.append({q: max(value, 0.0) for q, value in z_current.items() if value > 0.0})
-    return z_levels
+        z_levels.append(_z_level(cache, node, level, z_levels, decay))
+    return [dict(zip(indices.tolist(), values.tolist()))
+            for indices, values in z_levels]
 
 
 def estimate_diagonal_entry_local(graph: DiGraph, node: int, num_pairs: int, *,
@@ -173,35 +198,21 @@ def estimate_diagonal_entry_local(graph: DiGraph, node: int, num_pairs: int, *,
     edge_budget = 2.0 * num_pairs / sqrt_c
 
     cache = _DistributionCache(graph, edge_budget=edge_budget)
-    z_levels: List[Distribution] = []
+    z_levels: List[Tuple[np.ndarray, np.ndarray]] = []
     chosen_level = 0
     for level in range(1, max_level + 1):
         if cache.traversed_edges >= edge_budget:
             break
         try:
-            from_k = cache.distribution(node, level)
-            z_current: Distribution = {
-                q: (decay ** level) * probability * probability
-                for q, probability in from_k.items()
-            }
-            for first_meeting_level in range(1, level):
-                remaining = level - first_meeting_level
-                for q_prime, z_value in z_levels[first_meeting_level - 1].items():
-                    if z_value <= 0.0:
-                        continue
-                    from_q_prime = cache.distribution(q_prime, remaining)
-                    factor = decay ** remaining
-                    for q, probability in from_q_prime.items():
-                        if q in z_current:
-                            z_current[q] -= z_value * factor * probability * probability
+            z_current = _z_level(cache, node, level, z_levels, decay)
         except BudgetExhausted:
             # Paper's "goto OUTLOOP": the level under construction is discarded
             # and ℓ(k) stays at the last fully computed level.
             break
-        z_levels.append({q: max(value, 0.0) for q, value in z_current.items() if value > 0.0})
+        z_levels.append(z_current)
         chosen_level = level
 
-    deterministic_mass = float(sum(sum(level.values()) for level in z_levels))
+    deterministic_mass = float(sum(values.sum() for _, values in z_levels))
     estimate = 1.0 - deterministic_mass
 
     # Tail: remaining first-meeting mass beyond the deterministic horizon.  If

@@ -23,15 +23,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.algorithms import registry
 from repro.baselines.base import SimRankAlgorithm
-from repro.baselines.linearization import LinearizationSimRank
-from repro.baselines.monte_carlo import MonteCarloSimRank
-from repro.baselines.parsim import ParSim
 from repro.baselines.power_method import PowerMethod
-from repro.baselines.prsim import PRSim
 from repro.core.config import ExactSimConfig
 from repro.core.exactsim import ExactSim
-from repro.core.result import SingleSourceResult
 from repro.experiments.harness import (
     ExperimentSettings,
     MethodSweep,
@@ -39,6 +35,7 @@ from repro.experiments.harness import (
     run_method_sweep,
     select_query_nodes,
 )
+from repro.graph.context import GraphContext
 from repro.graph.datasets import get_spec, load_dataset
 from repro.graph.digraph import DiGraph
 
@@ -62,23 +59,6 @@ SWEEP_SAMPLE_CAP = 120_000
 ORACLE_SAMPLE_CAP = 200_000
 
 
-class _ExactSimAdapter(SimRankAlgorithm):
-    """Adapter exposing :class:`ExactSim` through the baseline interface."""
-
-    name = "exactsim"
-    index_based = False
-
-    def __init__(self, graph: DiGraph, config: ExactSimConfig, *, variant_name: str = "exactsim"):
-        super().__init__(graph, decay=config.decay)
-        self.name = variant_name
-        self._engine = ExactSim(graph, config)
-
-    def single_source(self, source: int) -> SingleSourceResult:
-        result = self._engine.single_source(source)
-        result.algorithm = self.name
-        return result
-
-
 def _resolve_graph(dataset: GraphOrName) -> DiGraph:
     if isinstance(dataset, DiGraph):
         return dataset
@@ -95,35 +75,26 @@ def _dataset_scale(dataset: GraphOrName) -> str:
 def default_method_sweeps(graph: DiGraph, *, decay: float = 0.6, seed: int = 7,
                           grids: Optional[Dict[str, Sequence[float]]] = None,
                           sample_cap: int = SWEEP_SAMPLE_CAP) -> Dict[str, MethodSweep]:
-    """The five algorithms of Figures 1/2/5/6 with their default sweeps."""
+    """The five algorithms of Figures 1/2/5/6 with their default sweeps.
+
+    Every sweep is resolved through the algorithm registry and shares one
+    :class:`GraphContext`, so all grid points of all methods reuse the same
+    cached transition matrices.
+    """
     grids = {**DEFAULT_GRIDS, **(grids or {})}
-
-    def exactsim_factory(epsilon: float) -> SimRankAlgorithm:
-        config = ExactSimConfig(epsilon=float(epsilon), decay=decay, seed=seed,
-                                max_total_samples=sample_cap)
-        return _ExactSimAdapter(graph, config)
-
-    def mc_factory(walks: float) -> SimRankAlgorithm:
-        return MonteCarloSimRank(graph, decay=decay, walks_per_node=int(walks),
-                                 walk_length=10, seed=seed)
-
-    def parsim_factory(iterations: float) -> SimRankAlgorithm:
-        return ParSim(graph, decay=decay, iterations=int(iterations))
-
-    def linearization_factory(samples: float) -> SimRankAlgorithm:
-        return LinearizationSimRank(graph, decay=decay, epsilon=1e-3,
-                                    samples_per_node=int(samples), seed=seed)
-
-    def prsim_factory(epsilon: float) -> SimRankAlgorithm:
-        return PRSim(graph, decay=decay, epsilon=float(epsilon), seed=seed)
-
+    context = GraphContext.shared(graph)
+    base_configs: Dict[str, Dict[str, object]] = {
+        "exactsim": {"decay": decay, "seed": seed, "max_total_samples": sample_cap},
+        "mc": {"decay": decay, "walk_length": 10, "seed": seed},
+        "parsim": {"decay": decay},
+        "linearization": {"decay": decay, "epsilon": 1e-3, "seed": seed},
+        "prsim": {"decay": decay, "seed": seed},
+    }
     return {
-        "exactsim": MethodSweep("exactsim", exactsim_factory, grids["exactsim"]),
-        "mc": MethodSweep("mc", mc_factory, grids["mc"]),
-        "parsim": MethodSweep("parsim", parsim_factory, grids["parsim"]),
-        "linearization": MethodSweep("linearization", linearization_factory,
-                                     grids["linearization"]),
-        "prsim": MethodSweep("prsim", prsim_factory, grids["prsim"]),
+        method: MethodSweep.from_registry(method, graph, grids[method],
+                                          base_config=base_configs[method],
+                                          context=context)
+        for method in ("exactsim", "mc", "parsim", "linearization", "prsim")
     }
 
 
@@ -227,19 +198,24 @@ def fig_ablation_basic_vs_optimized(dataset: GraphOrName, *,
     truth = ground_truth_provider(graph, scale, decay=decay, seed=settings.seed)
     dataset_name = dataset if isinstance(dataset, str) else graph.name
 
-    def optimized_factory(epsilon: float) -> SimRankAlgorithm:
-        config = ExactSimConfig(epsilon=float(epsilon), decay=decay, seed=settings.seed,
-                                max_total_samples=sample_cap)
-        return _ExactSimAdapter(graph, config, variant_name="exactsim-optimized")
+    context = GraphContext.shared(graph)
 
-    def basic_factory(epsilon: float) -> SimRankAlgorithm:
-        config = ExactSimConfig.basic(epsilon=float(epsilon), decay=decay, seed=settings.seed,
-                                      max_total_samples=sample_cap)
-        return _ExactSimAdapter(graph, config, variant_name="exactsim-basic")
+    def variant_factory(method: str, variant_name: str):
+        def build(epsilon: float) -> SimRankAlgorithm:
+            algorithm = registry.create(
+                method, graph,
+                {"epsilon": float(epsilon), "decay": decay, "seed": settings.seed,
+                 "max_total_samples": sample_cap},
+                context=context)
+            algorithm.name = variant_name
+            return algorithm
+        return build
 
     sweeps = [
-        MethodSweep("exactsim-optimized", optimized_factory, epsilons),
-        MethodSweep("exactsim-basic", basic_factory, epsilons),
+        MethodSweep("exactsim-optimized",
+                    variant_factory("exactsim", "exactsim-optimized"), epsilons),
+        MethodSweep("exactsim-basic",
+                    variant_factory("exactsim-basic", "exactsim-basic"), epsilons),
     ]
     return [run_method_sweep(graph, sweep, query_nodes, truth, settings=settings,
                              dataset_name=dataset_name)

@@ -1,5 +1,6 @@
 """Directed-graph substrate: CSR graphs, generators, IO and dataset registry."""
 
+from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.graph.transition import TransitionOperator, reverse_transition_matrix
 from repro.graph.generators import (
@@ -23,6 +24,7 @@ from repro.graph.datasets import DatasetSpec, dataset_names, load_dataset, datas
 
 __all__ = [
     "DiGraph",
+    "GraphContext",
     "TransitionOperator",
     "reverse_transition_matrix",
     "erdos_renyi_graph",

@@ -1,0 +1,134 @@
+"""Shared per-graph execution context.
+
+Every algorithm in the library needs the same derived structures of its
+graph: the dual-CSR adjacency arrays, the degree vectors, and the (reverse)
+transition matrix ``P`` / ``Pᵀ`` behind :class:`~repro.graph.transition.
+TransitionOperator`.  Before this module each algorithm instance rebuilt
+those structures privately, so a sweep that constructs ten algorithm
+instances on one graph paid for ten identical CSR-to-CSC conversions.
+
+:class:`GraphContext` owns the caches once per graph:
+
+* ``operator(decay)`` returns a :class:`TransitionOperator` cached per decay
+  value, so the sparse ``P``/``Pᵀ`` matrices are built at most once per
+  (graph, decay) pair no matter how many algorithms share the context;
+* the CSR arrays and degree vectors are exposed as properties so kernel-level
+  callers can stay on the arrays without reaching into the graph;
+* :meth:`GraphContext.shared` is a process-wide weak cache, so algorithms
+  that are constructed without an explicit context still end up sharing one
+  per graph (the common case in the harness and the CLI).
+
+The context deliberately does **not** cache random-walk engines: an engine
+carries RNG state, and sharing it implicitly across algorithms would couple
+their sample streams.  Use :meth:`walk_engine` to construct a fresh one.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.transition import TransitionOperator
+
+
+class GraphContext:
+    """Cached derived structures of one :class:`DiGraph`, shared by algorithms."""
+
+    def __init__(self, graph: DiGraph):
+        self.graph = graph
+        self._operators: Dict[float, TransitionOperator] = {}
+
+    # ------------------------------------------------------------------ #
+    # shared-instance cache
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def shared(cls, graph: DiGraph) -> "GraphContext":
+        """The process-wide context of ``graph`` (created on first request).
+
+        Structurally equal graphs share one context.  The cache holds the
+        context *weakly*: an entry (and, through it, the graph and every
+        cached transition matrix) disappears as soon as the last algorithm
+        holding the context is gone, so a long-lived process that churns
+        through many graphs does not accumulate them.
+        """
+        context = _SHARED_CONTEXTS.get(graph)
+        if context is None:
+            context = cls(graph)
+            _SHARED_CONTEXTS[graph] = context
+        return context
+
+    # ------------------------------------------------------------------ #
+    # cached operators
+    # ------------------------------------------------------------------ #
+    def operator(self, decay: float = 0.6) -> TransitionOperator:
+        """The :class:`TransitionOperator` for ``decay`` (built once, cached)."""
+        key = float(decay)
+        operator = self._operators.get(key)
+        if operator is None:
+            operator = TransitionOperator(self.graph, key)
+            self._operators[key] = operator
+        return operator
+
+    def walk_engine(self, decay: float = 0.6, *, seed=None):
+        """A fresh √c-walk engine (never cached — engines carry RNG state)."""
+        from repro.randomwalk.engine import SqrtCWalkEngine
+
+        return SqrtCWalkEngine(self.graph, decay, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # array views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        return self.graph.in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        return self.graph.in_indices
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        return self.graph.out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        return self.graph.out_indices
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        return self.graph.in_degrees
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        return self.graph.out_degrees
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def memory_bytes(self) -> int:
+        """Bytes held by the graph CSR arrays plus every cached operator."""
+        total = self.graph.memory_bytes()
+        for operator in self._operators.values():
+            total += operator.memory_bytes()
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GraphContext(graph={self.graph.name!r}, "
+                f"operators={sorted(self._operators)})")
+
+
+# Weak *values*: a context strongly references its graph (the key), so a
+# WeakKeyDictionary would never evict.  With weak values the entry lives
+# exactly as long as some algorithm holds the context.
+_SHARED_CONTEXTS: "weakref.WeakValueDictionary[DiGraph, GraphContext]" = \
+    weakref.WeakValueDictionary()
+
+
+__all__ = ["GraphContext"]

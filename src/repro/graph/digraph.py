@@ -165,10 +165,16 @@ class DiGraph:
         return np.arange(self.num_nodes, dtype=np.int64)
 
     def edges(self) -> Iterator[Tuple[int, int]]:
-        """Iterate over directed edges ``(source, target)``."""
-        for source in range(self.num_nodes):
-            for target in self.out_neighbors(source):
-                yield source, int(target)
+        """Iterate over directed edges ``(source, target)``.
+
+        The edge list comes from one vectorized CSR expansion
+        (:meth:`edge_array`); the Python-object conversion happens in
+        chunks, so early-exiting consumers never pay for the full list.
+        """
+        edge_array = self.edge_array()
+        for start in range(0, edge_array.shape[0], 4096):
+            for source, target in edge_array[start:start + 4096].tolist():
+                yield source, target
 
     def edge_array(self) -> np.ndarray:
         """All directed edges as an ``(m, 2)`` array."""
@@ -190,18 +196,33 @@ class DiGraph:
                        name=f"{self.name}-reversed", directed=self.directed)
 
     def subgraph(self, nodes: Sequence[int], *, name: Optional[str] = None) -> "DiGraph":
-        """Induced subgraph on ``nodes`` with ids relabelled to ``0..len-1``."""
-        node_array = np.asarray(sorted(set(int(v) for v in nodes)), dtype=np.int64)
-        for node in node_array:
-            check_node_index(int(node), self.num_nodes)
+        """Induced subgraph on ``nodes`` with ids relabelled to ``0..len-1``.
+
+        The kept edges are extracted with CSR-slice array operations: the
+        out-adjacency rows of all kept nodes are gathered in one
+        repeat/cumsum pass and filtered by a remap table — no per-edge
+        Python loop.
+        """
+        node_array = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if node_array.size and (node_array[0] < 0 or node_array[-1] >= self.num_nodes):
+            check_node_index(int(node_array[0] if node_array[0] < 0 else node_array[-1]),
+                             self.num_nodes)
         remap = -np.ones(self.num_nodes, dtype=np.int64)
         remap[node_array] = np.arange(node_array.shape[0])
-        kept_edges: List[Tuple[int, int]] = []
-        for old_source in node_array:
-            for old_target in self.out_neighbors(int(old_source)):
-                new_target = remap[old_target]
-                if new_target >= 0:
-                    kept_edges.append((int(remap[old_source]), int(new_target)))
+        counts = self.out_degrees[node_array]
+        starts = self.out_indptr[node_array]
+        # Flat positions of every out-edge of every kept node: for each row,
+        # starts[row] + (0 .. counts[row]); the arange-minus-offset trick
+        # builds all per-row ranges in one vectorized pass.
+        total = int(counts.sum())
+        row_offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        positions = np.repeat(starts, counts) + (np.arange(total, dtype=np.int64)
+                                                 - row_offsets)
+        old_sources = np.repeat(node_array, counts)
+        old_targets = self.out_indices[positions]
+        keep = remap[old_targets] >= 0
+        kept_edges = np.column_stack([remap[old_sources[keep]],
+                                      remap[old_targets[keep]]])
         return DiGraph.from_edges(kept_edges, num_nodes=node_array.shape[0],
                                   name=name or f"{self.name}-sub")
 
@@ -217,6 +238,25 @@ class DiGraph:
         """Bytes used by the CSR arrays (the 'graph size' rows of Table 3)."""
         return int(self.in_indptr.nbytes + self.in_indices.nbytes +
                    self.out_indptr.nbytes + self.out_indices.nbytes)
+
+    def fingerprint(self) -> np.ndarray:
+        """A cheap structural fingerprint used to validate persisted indices.
+
+        Combines the node/edge counts with CRC32 checksums of the CSR
+        arrays; two graphs with equal fingerprints are, for persistence
+        purposes, the same graph.  Cached after the first call.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            import zlib
+            cached = np.array([
+                self.num_nodes,
+                self.num_edges,
+                zlib.crc32(np.ascontiguousarray(self.out_indptr).tobytes()),
+                zlib.crc32(np.ascontiguousarray(self.out_indices).tobytes()),
+            ], dtype=np.int64)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # ------------------------------------------------------------------ #
     # dunder helpers

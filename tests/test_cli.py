@@ -65,3 +65,110 @@ class TestExperimentCommand:
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig42"])
+
+
+class TestMethodsCommand:
+    def test_lists_registered_methods(self, capsys):
+        assert main(["methods"]) == 0
+        output = capsys.readouterr().out
+        for name in ("exactsim", "prsim", "sling", "mc", "probesim"):
+            assert name in output
+
+
+class TestQueryMethodAndBatch:
+    def test_query_every_registered_method(self, capsys):
+        from repro.algorithms import registry
+        for name in registry.available():
+            code = main(["query", "--dataset", "GQ", "--source", "3",
+                         "--method", name, "--epsilon", "1e-1", "--seed", "1",
+                         "--max-samples", "5000", "--top-k", "2"])
+            assert code == 0, name
+            assert "simrank" in capsys.readouterr().out
+
+    def test_batched_sources(self, capsys):
+        code = main(["query", "--dataset", "GQ", "--sources", "3,7,11",
+                     "--method", "parsim", "--top-k", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.count("# parsim on GQ") == 3
+
+    def test_invalid_sources_string(self, capsys):
+        code = main(["query", "--dataset", "GQ", "--sources", "3,x",
+                     "--method", "parsim"])
+        assert code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_method_specific_param(self, capsys):
+        code = main(["query", "--dataset", "GQ", "--source", "3",
+                     "--method", "probesim", "--seed", "1",
+                     "--param", "num_walks=50", "--top-k", "2"])
+        assert code == 0
+
+
+class TestIndexCommands:
+    def test_build_then_load_and_query(self, tmp_path, capsys):
+        code = main(["index", "build", "--dataset", "GQ", "--method", "mc",
+                     "--seed", "2", "--param", "walks_per_node=10",
+                     "--param", "walk_length=5",
+                     "--out", str(tmp_path / "gq-mc.npz")])
+        assert code == 0
+        assert "mc index on GQ" in capsys.readouterr().out
+        code = main(["index", "load", "--dataset", "GQ", "--method", "mc",
+                     "--path", str(tmp_path / "gq-mc.npz"),
+                     "--source", "3", "--top-k", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "loaded mc index" in output and "simrank" in output
+
+    def test_build_rejects_index_free_method(self, capsys):
+        code = main(["index", "build", "--dataset", "GQ", "--method", "parsim",
+                     "--out", "unused.npz"])
+        assert code == 2
+        assert "persistence" in capsys.readouterr().err
+
+    def test_load_rejects_wrong_method(self, tmp_path, capsys):
+        assert main(["index", "build", "--dataset", "GQ", "--method", "mc",
+                     "--seed", "1", "--param", "walks_per_node=5",
+                     "--out", str(tmp_path / "mc.npz")]) == 0
+        capsys.readouterr()
+        code = main(["index", "load", "--dataset", "GQ", "--method", "sling",
+                     "--path", str(tmp_path / "mc.npz")])
+        assert code == 2
+        assert "built by" in capsys.readouterr().err
+
+    def test_query_with_index_dir_builds_then_loads(self, tmp_path, capsys):
+        arguments = ["query", "--dataset", "GQ", "--source", "3",
+                     "--method", "prsim", "--epsilon", "1e-1", "--seed", "1",
+                     "--index-dir", str(tmp_path), "--top-k", "2"]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert "built prsim index" in first
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert "loaded prsim index" in second
+        # identical scores from the persisted index
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]
+
+    def test_query_index_dir_with_stale_index_fails_cleanly(self, tmp_path, capsys):
+        base = ["query", "--dataset", "GQ", "--method", "mc", "--seed", "1",
+                "--param", "walks_per_node=5", "--index-dir", str(tmp_path),
+                "--top-k", "2"]
+        assert main(base + ["--source", "3"]) == 0
+        capsys.readouterr()
+        # Same cache, different decay: load must fail with a clean error.
+        code = main(base + ["--source", "3", "--decay", "0.8"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "decay" in err and "Traceback" not in err
+
+    def test_index_build_rejects_unknown_param_cleanly(self, capsys):
+        code = main(["index", "build", "--dataset", "GQ", "--method", "mc",
+                     "--param", "bogus=1", "--out", "unused.npz"])
+        assert code == 2
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_index_load_rejects_unknown_param_cleanly(self, tmp_path, capsys):
+        code = main(["index", "load", "--dataset", "GQ", "--method", "mc",
+                     "--param", "bogus=1", "--path", str(tmp_path / "x.npz")])
+        assert code == 2
+        assert "does not accept" in capsys.readouterr().err

@@ -183,3 +183,104 @@ class TestResultTypes:
         top = result.top_k(3)
         assert top.precision_against(top) == 1.0
         assert isinstance(top.as_pairs(), list)
+
+
+class TestBatchedQueries:
+    """The vectorized single_source_batch path (batched push + batched Pᵀ)."""
+
+    def test_batch_accuracy_within_epsilon(self, collab_graph, collab_simrank):
+        epsilon = 1e-2
+        config = ExactSimConfig(epsilon=epsilon, decay=DECAY, seed=17,
+                                max_total_samples=200_000)
+        sources = [0, 3, 12, 40]
+        results = ExactSim(collab_graph, config).single_source_batch(sources)
+        assert [r.source for r in results] == sources
+        for result in results:
+            assert max_error(result.scores, collab_simrank[result.source]) <= epsilon
+            assert result.query_seconds > 0.0
+            assert result.stats["batch_size"] == float(len(sources))
+
+    def test_batch_close_to_sequential(self, collab_graph):
+        config = ExactSimConfig(epsilon=5e-2, decay=DECAY, seed=3,
+                                max_total_samples=50_000)
+        sources = [1, 7]
+        sequential = [ExactSim(collab_graph, config).single_source(s)
+                      for s in sources]
+        batched = ExactSim(collab_graph, config).single_source_batch(sources)
+        for loop_result, batch_result in zip(sequential, batched):
+            assert np.max(np.abs(loop_result.scores - batch_result.scores)) <= 0.1
+
+    def test_batch_basic_variant(self, collab_graph, collab_simrank):
+        config = ExactSimConfig.basic(epsilon=5e-2, decay=DECAY, seed=9,
+                                      max_total_samples=50_000)
+        results = ExactSim(collab_graph, config).single_source_batch([4])
+        assert results[0].algorithm == "exactsim-basic"
+        assert max_error(results[0].scores, collab_simrank[4]) <= 5e-2
+
+    def test_empty_batch(self, collab_graph):
+        assert ExactSim(collab_graph).single_source_batch([]) == []
+
+    def test_batch_rejects_invalid_source(self, collab_graph):
+        with pytest.raises(Exception):
+            ExactSim(collab_graph).single_source_batch([0, collab_graph.num_nodes])
+
+
+class TestAlgorithmInterface:
+    """ExactSim as a first-class SimRankAlgorithm."""
+
+    def test_subclasses_base(self, collab_graph):
+        from repro.baselines.base import SimRankAlgorithm
+        engine = ExactSim(collab_graph)
+        assert isinstance(engine, SimRankAlgorithm)
+        assert not engine.index_based
+        assert engine.index_bytes() == 0
+        assert engine.name == "exactsim"
+
+    def test_basic_config_changes_name(self, collab_graph):
+        engine = ExactSim(collab_graph, ExactSimConfig.basic(epsilon=1e-1))
+        assert engine.name == "exactsim-basic"
+
+    def test_shares_graph_context(self, collab_graph):
+        from repro.graph.context import GraphContext
+        context = GraphContext.shared(collab_graph)
+        engine = ExactSim(collab_graph)
+        assert engine.context is context
+        assert engine._operator is context.operator(DECAY)
+
+
+class TestBatchedPushPath:
+    """Above _DENSE_BATCH_MAX_NODES the batch rides the push kernel."""
+
+    @pytest.fixture(scope="class")
+    def large_graph(self):
+        from repro.graph.generators import power_law_graph
+        return power_law_graph(5_000, 4.0, directed=False, seed=33)
+
+    def test_push_path_selected_and_close_to_sequential(self, large_graph):
+        assert large_graph.num_nodes > ExactSim._DENSE_BATCH_MAX_NODES
+        epsilon = 5e-2
+        config = ExactSimConfig(epsilon=epsilon, decay=DECAY, seed=5,
+                                max_total_samples=20_000)
+        sources = [3, 11]
+        sequential = [ExactSim(large_graph, config).single_source(s)
+                      for s in sources]
+        batched = ExactSim(large_graph, config).single_source_batch(sources)
+        for loop_result, batch_result in zip(sequential, batched):
+            # Both are within ε of the truth, so they agree within 2ε.
+            difference = np.max(np.abs(loop_result.scores - batch_result.scores))
+            assert difference <= 2 * epsilon
+            # The push path stores truncated sparse hops, not dense columns.
+            assert batch_result.stats["ppr_nonzero_entries"] > 0
+
+    def test_basic_batch_never_truncates(self, large_graph):
+        """Batched exactsim-basic must stay the untruncated basic algorithm."""
+        config = ExactSimConfig.basic(epsilon=5e-2, decay=DECAY, seed=5,
+                                      max_total_samples=5_000)
+        sources = [3, 11]
+        loop_engine = ExactSim(large_graph, config)
+        sequential = [loop_engine.single_source(s) for s in sources]
+        batched = ExactSim(large_graph, config).single_source_batch(sources)
+        for loop_result, batch_result in zip(sequential, batched):
+            # Same RNG stream (one engine, sources in order) + dense phase 1
+            # ⇒ the batch reproduces the sequential loop bit-for-bit.
+            assert np.array_equal(loop_result.scores, batch_result.scores)

@@ -195,3 +195,28 @@ class TestReporting:
         assert rows[0]["algorithm"] == "alg"
         text = format_series_table([series])
         assert "alg" in text and "max_error" in text
+
+
+class TestBatchedEvaluation:
+    def test_query_time_budget_bounds_execution(self, collab_graph, collab_simrank):
+        """An exhausted budget must stop issuing queries, not just trim stats."""
+        from repro.baselines.base import SimRankAlgorithm
+        from repro.core.result import SingleSourceResult
+        from repro.experiments.harness import _BUDGET_CHUNK, _evaluate_point
+
+        class SlowStub(SimRankAlgorithm):
+            name = "slow-stub"
+            answered = 0
+
+            def single_source(self, source):
+                type(self).answered += 1
+                return SingleSourceResult(source=source,
+                                          scores=collab_simrank[source].copy(),
+                                          query_seconds=100.0)
+
+        stub = SlowStub(collab_graph)
+        nodes = list(range(4 * _BUDGET_CHUNK))
+        point = _evaluate_point(stub, nodes, lambda s: collab_simrank[s], 5, 1.0)
+        # Only the first chunk may execute; only its first query is counted.
+        assert SlowStub.answered == _BUDGET_CHUNK
+        assert point.num_queries == 1

@@ -171,3 +171,49 @@ class TestInvariants:
         for node in range(0, collab_graph.num_nodes, 11):
             for target in collab_graph.out_neighbors(node):
                 assert collab_graph.has_edge(int(target), node)
+
+
+class TestVectorizedSlices:
+    """subgraph/edges run on CSR-slice array operations; pin the semantics."""
+
+    def test_subgraph_matches_per_edge_reference(self):
+        from repro.graph.generators import power_law_graph
+        graph = power_law_graph(150, 4.0, directed=True, seed=21)
+        rng = np.random.default_rng(3)
+        nodes = rng.choice(graph.num_nodes, size=60, replace=False)
+        sub = graph.subgraph(nodes)
+        node_array = np.unique(nodes)
+        remap = {int(old): new for new, old in enumerate(node_array.tolist())}
+        expected = set()
+        for old_source in node_array:
+            for old_target in graph.out_neighbors(int(old_source)):
+                if int(old_target) in remap:
+                    expected.add((remap[int(old_source)], remap[int(old_target)]))
+        assert set(sub.edges()) == expected
+        assert sub.num_nodes == node_array.shape[0]
+
+    def test_subgraph_accepts_duplicates_and_unsorted(self, toy_graph):
+        sub = toy_graph.subgraph([4, 2, 3, 2, 4])
+        assert sub.num_nodes == 3
+        assert (0, 1) in set(sub.edges())   # 2 -> 3 relabelled
+
+    def test_subgraph_rejects_out_of_range(self, toy_graph):
+        with pytest.raises(Exception):
+            toy_graph.subgraph([0, 99])
+        with pytest.raises(Exception):
+            toy_graph.subgraph([-1, 2])
+
+    def test_subgraph_empty_selection(self, toy_graph):
+        sub = toy_graph.subgraph([])
+        assert sub.num_nodes == 0 and sub.num_edges == 0
+
+    def test_edges_iterator_matches_edge_array(self, toy_graph):
+        listed = list(toy_graph.edges())
+        assert listed == [tuple(row) for row in toy_graph.edge_array().tolist()]
+        assert all(isinstance(s, int) and isinstance(t, int) for s, t in listed)
+
+    def test_fingerprint_stable_and_structure_sensitive(self, toy_graph):
+        first = toy_graph.fingerprint()
+        assert np.array_equal(first, toy_graph.fingerprint())
+        other = DiGraph.from_edges([(0, 1), (1, 2)], num_nodes=6)
+        assert not np.array_equal(first, other.fingerprint())
