@@ -48,16 +48,29 @@ class MonteCarloSimRank(SimRankAlgorithm):
     # ------------------------------------------------------------------ #
     # preprocessing
     # ------------------------------------------------------------------ #
+    #: Cap on int64 trajectory elements materialised per compacted engine
+    #: call (~64 MB); bounds the build's peak memory above the int32 store.
+    _MAX_CHUNK_ELEMENTS = 8_000_000
+
     def _build_index(self) -> None:
         num_nodes = self.graph.num_nodes
+        # Chunked compacted build: each chunk simulates several replicas of
+        # every node in one engine call (walk w = r·n + v, so the trajectory
+        # matrix reshapes straight into the (step, replica, node) layout),
+        # and the engine only touches walks still alive at each step.  The
+        # chunk size caps the transient int64 trajectory batch so peak
+        # memory stays within a constant factor of the int32 store itself.
+        starts = np.arange(num_nodes, dtype=np.int64)
+        per_chunk = max(1, self._MAX_CHUNK_ELEMENTS
+                        // max(1, (self.walk_length + 1) * num_nodes))
         index = np.full((self.walk_length + 1, self.walks_per_node, num_nodes),
                         -1, dtype=np.int32)
-        # Simulate all walks of one "replica" r simultaneously: one start
-        # node per graph node, advanced in lock-step by the engine.
-        starts = np.arange(num_nodes, dtype=np.int64)
-        for replica in range(self.walks_per_node):
-            batch = self._engine.walks_from_nodes(starts, max_steps=self.walk_length)
-            index[:, replica, :] = batch.positions.astype(np.int32)
+        for first in range(0, self.walks_per_node, per_chunk):
+            replicas = min(per_chunk, self.walks_per_node - first)
+            batch = self._engine.walks_from_nodes(np.tile(starts, replicas),
+                                                  max_steps=self.walk_length)
+            index[:, first:first + replicas, :] = batch.positions.reshape(
+                self.walk_length + 1, replicas, num_nodes).astype(np.int32)
         self._index = index
 
     # ------------------------------------------------------------------ #

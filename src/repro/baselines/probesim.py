@@ -64,16 +64,17 @@ class ProbeSim(SimRankAlgorithm):
         source = check_node_index(source, self.graph.num_nodes, "source")
         timer = Timer()
         with timer:
-            batch = self._engine.walks_from(source, self.num_walks, max_steps=self.max_steps)
+            # The sampling phase never needs walk identities — only how many
+            # walks occupy each node per step — so it runs on the
+            # count-aggregated frontier: per-step cost is bounded by the
+            # distinct visited nodes, not by ``num_walks``.
+            levels = self._engine.visit_count_steps(
+                np.array([source], dtype=np.int64),
+                np.array([self.num_walks], dtype=np.int64),
+                max_steps=self.max_steps)
             scores = np.zeros(self.graph.num_nodes, dtype=np.float64)
             scale = 1.0 / ((1.0 - self._operator.sqrt_c) * self.num_walks)
-            for step in range(self.max_steps + 1):
-                visited = batch.nodes_at(step)
-                visited = visited[visited >= 0]
-                if visited.size == 0:
-                    break
-                counts = np.bincount(visited, minlength=self.graph.num_nodes)
-                meeting_nodes = np.flatnonzero(counts)
+            for step, (meeting_nodes, counts) in enumerate(levels):
                 self._accumulate_probe_batch(scores, meeting_nodes, step,
                                              counts, scale)
             np.clip(scores, 0.0, 1.0, out=scores)
@@ -87,10 +88,12 @@ class ProbeSim(SimRankAlgorithm):
                                 level: int, counts: np.ndarray, scale: float) -> None:
         """Add the depth-``level`` probes of all ``meeting_nodes`` at once.
 
-        The COO batch (meeting-node row, node, mass) expands through shared
-        CSR slices once per step; the ``probe_threshold`` mask after every
-        step is semantically identical to the per-probe ``filtered``
-        pruning of the sequential implementation.
+        ``counts[r]`` is the number of walks occupying ``meeting_nodes[r]``
+        at this step (the aggregated frontier's multiplicities).  The COO
+        batch (meeting-node row, node, mass) expands through shared CSR
+        slices once per step; the ``probe_threshold`` mask after every step
+        is semantically identical to the per-probe ``filtered`` pruning of
+        the sequential implementation.
         """
         if meeting_nodes.size == 0:
             return
@@ -109,7 +112,7 @@ class ProbeSim(SimRankAlgorithm):
             if self.probe_threshold > 0.0:
                 keep = vals >= self.probe_threshold
                 rows, cols, vals = rows[keep], cols[keep], vals[keep]
-        weights = (scale * (1.0 - sqrt_c) * counts[meeting_nodes] *
+        weights = (scale * (1.0 - sqrt_c) * counts *
                    self._diagonal[meeting_nodes])
         scores += np.bincount(cols, weights=vals * weights[rows],
                               minlength=num_nodes)

@@ -42,7 +42,6 @@ from repro.kernels.sparsevec import SparseVector
 from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.ppr.pagerank import pagerank
 from repro.randomwalk.engine import SqrtCWalkEngine
-from repro.randomwalk.meeting import estimate_diagonal_entry
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Timer
 from repro.utils.validation import check_node_index, check_probability
@@ -115,9 +114,14 @@ class PRSim(SimRankAlgorithm):
         for hub in hubs:
             hub = int(hub)
             hub_index[hub] = self._reverse_hop_vectors(hub, iterations, threshold)
-            if self.graph.in_degree(hub) > 1:
-                diagonal[hub] = estimate_diagonal_entry(
-                    self.graph, hub, samples, decay=self.decay, engine=self._engine)
+        # All hubs' D(k, k) estimates ride one count-aggregated engine call:
+        # every hub is an origin carrying the full per-hub pair budget, so the
+        # MC cost no longer scales with the hub count times the sample count.
+        sampled = hubs[self.graph.in_degrees[hubs] > 1].astype(np.int64)
+        if sampled.size:
+            met = self._engine.pair_meet_counts(
+                sampled, np.full(sampled.shape[0], samples, dtype=np.int64))
+            diagonal[sampled] = 1.0 - met / float(samples)
         self._hubs = hubs.astype(np.int64)
         self._hub_index = hub_index
         self._diagonal = diagonal

@@ -36,8 +36,8 @@ from repro.baselines.base import SimRankAlgorithm
 from repro.core.config import ExactSimConfig
 from repro.core.result import SingleSourceResult, TopKResult
 from repro.core.sampling import allocate_proportional, allocate_squared, total_sample_budget
-from repro.diagonal.basic import estimate_diagonal_basic
-from repro.diagonal.local import estimate_diagonal_local
+from repro.diagonal.basic import estimate_diagonal_basic_batch
+from repro.diagonal.local import DistributionCache, estimate_diagonal_local_batch
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.ppr.hop_ppr import HopPPR, hop_ppr_vectors
@@ -76,6 +76,14 @@ class ExactSim(SimRankAlgorithm):
         self.name = "exactsim" if self.config.optimized else "exactsim-basic"
         self._operator = self.context.operator(self.config.decay)
         self._walk_engine = SqrtCWalkEngine(graph, self.config.decay, seed=self.config.seed)
+        # Heavy-node visit-distribution cache for Algorithm 3, shared across
+        # the sources of a batch and across successive queries of this engine
+        # (the distributions are deterministic per graph, so reuse is exact).
+        # The byte cap bounds peak memory even mid-batch: the cache evicts
+        # between explorations, which cannot change any result because the
+        # edge budget charges cached levels either way.
+        self._distribution_cache = DistributionCache(
+            graph, max_bytes=self._DISTRIBUTION_CACHE_MAX_BYTES)
 
     # ------------------------------------------------------------------ #
     # public queries
@@ -118,10 +126,13 @@ class ExactSim(SimRankAlgorithm):
 
         Phase 1 computes the hop-PPR vectors of *all* sources in one batched
         local push over shared CSR slices (one gather/scatter per level for
-        the whole batch).  Phase 2 (the sampling-based diagonal estimate)
-        runs per source, in order, on the shared walk engine — the same RNG
-        stream a sequential loop would consume.  Phase 3 back-substitutes
-        every source simultaneously: the per-source mat-vecs collapse into L
+        the whole batch).  Phase 2 batches the diagonal sampling of the whole
+        batch through the count-aggregated walk engine: the per-node
+        allocations of every source join one pair-meeting simulation (light
+        nodes and Algorithm 3 tails each form a single engine call), and the
+        heavy nodes' deterministic explorations share one visit-distribution
+        cache across sources.  Phase 3 back-substitutes every source
+        simultaneously: the per-source mat-vecs collapse into L
         sparse-times-dense ``Pᵀ @ S`` products over an (n, B) score matrix.
 
         The per-result ``query_seconds`` splits the shared phase cost evenly
@@ -139,22 +150,16 @@ class ExactSim(SimRankAlgorithm):
         with shared_timer:
             hop_pprs = self._hop_ppr_batch(source_ids, num_iterations)
 
-        diagonals: List[np.ndarray] = []
-        per_source_stats: List[Dict[str, float]] = []
-        phase2_seconds: List[float] = []
-        for hop_ppr in hop_pprs:
-            timer = Timer()
-            with timer:
-                diagonal, sampling_stats = self._estimate_diagonal(hop_ppr)
-            diagonals.append(diagonal)
-            per_source_stats.append(sampling_stats)
-            phase2_seconds.append(timer.elapsed)
+        phase2_timer = Timer()
+        with phase2_timer:
+            diagonals, per_source_stats = self._estimate_diagonal_batch(hop_pprs)
 
         back_timer = Timer()
         with back_timer:
             score_columns = self._back_substitute_batch(hop_pprs, diagonals)
 
-        shared_share = (shared_timer.elapsed + back_timer.elapsed) / len(source_ids)
+        shared_share = (shared_timer.elapsed + phase2_timer.elapsed
+                        + back_timer.elapsed) / len(source_ids)
         results: List[SingleSourceResult] = []
         for position, source in enumerate(source_ids):
             hop_ppr = hop_pprs[position]
@@ -171,7 +176,7 @@ class ExactSim(SimRankAlgorithm):
             stats["batch_size"] = float(len(source_ids))
             results.append(SingleSourceResult(
                 source=source, scores=scores, algorithm=self.name,
-                query_seconds=phase2_seconds[position] + shared_share,
+                query_seconds=shared_share,
                 stats=stats))
         return results
 
@@ -182,6 +187,11 @@ class ExactSim(SimRankAlgorithm):
     # ------------------------------------------------------------------ #
     # phases
     # ------------------------------------------------------------------ #
+    #: Cap on the engine-lifetime Algorithm 3 distribution cache; above this
+    #: the cache is dropped after the query (results are unaffected — the
+    #: edge budget charges cached levels — only wall-clock reuse is lost).
+    _DISTRIBUTION_CACHE_MAX_BYTES = 64 * 1024 * 1024
+
     #: Below this node count the batched phase 1 runs as one dense
     #: ``P @ X`` matrix product per level (bit-identical per column to the
     #: sequential dense recursion); above it, the frontier-proportional
@@ -213,9 +223,13 @@ class ExactSim(SimRankAlgorithm):
         Column ``b`` reproduces :func:`hop_ppr_vectors` for source ``b``
         bit-for-bit (scipy's CSR-times-dense product accumulates each column
         in the same order as the mat-vec), including the Lemma 2 per-hop
-        sparsification when it is enabled.
+        sparsification when it is enabled.  The sparsification itself is
+        batched: one boolean mask over the transposed (B, n) hop matrix
+        yields every column's surviving entries in a single pass (row-major
+        ``nonzero`` order is exactly each column's ascending node order), so
+        no per-column Python loop touches the dense data.
         """
-        from repro.core.sparse import sparsify_to_vector
+        from repro.kernels.sparsevec import SparseVector
 
         config = self.config
         threshold = config.truncation_threshold()
@@ -232,12 +246,19 @@ class ExactSim(SimRankAlgorithm):
         for _ in range(num_iterations + 1):
             hop_matrix = residual_factor * current
             totals += hop_matrix
-            for b in range(batch_size):
-                column = np.ascontiguousarray(hop_matrix[:, b])
-                if threshold is None:
-                    hops_per_source[b].append(column)
-                else:
-                    hops_per_source[b].append(sparsify_to_vector(column, threshold))
+            by_source = np.ascontiguousarray(hop_matrix.T)      # (B, n)
+            if threshold is None:
+                for b in range(batch_size):
+                    hops_per_source[b].append(by_source[b])
+            else:
+                mask = by_source >= threshold
+                rows, cols = np.nonzero(mask)                    # row-major order
+                values = by_source[mask]                         # same order
+                splits = np.searchsorted(rows, np.arange(1, batch_size))
+                for b, (idx, val) in enumerate(zip(np.split(cols, splits),
+                                                   np.split(values, splits))):
+                    hops_per_source[b].append(
+                        SparseVector(idx.astype(np.int64), val))
             current = sqrt_c * (matrix @ current)
 
         return [HopPPR(source=source, decay=config.decay, num_hops=num_iterations,
@@ -256,11 +277,11 @@ class ExactSim(SimRankAlgorithm):
                       num_hops=num_iterations, hops=list(push.levels), total=total,
                       truncated=True, truncation_threshold=push.r_max)
 
-    def _estimate_diagonal(self, hop_ppr: HopPPR) -> tuple[np.ndarray, Dict[str, float]]:
-        """Phase 2: sample allocation + D estimation; returns (D̂, stats)."""
+    def _allocate_samples(self, hop_ppr: HopPPR
+                          ) -> tuple[np.ndarray, Dict[str, float]]:
+        """Phase 2 sample allocation for one source; returns (R(·), stats)."""
         config = self.config
-        num_nodes = self.graph.num_nodes
-        budget = total_sample_budget(num_nodes, config.effective_epsilon,
+        budget = total_sample_budget(self.graph.num_nodes, config.effective_epsilon,
                                      decay=config.decay,
                                      failure_constant=config.failure_constant)
         cap = config.max_total_samples
@@ -268,25 +289,53 @@ class ExactSim(SimRankAlgorithm):
             allocation, realised = allocate_squared(hop_ppr.total, budget, cap=cap)
         else:
             allocation, realised = allocate_proportional(hop_ppr.total, budget, cap=cap)
-
-        if config.use_local_exploitation:
-            diagonal = estimate_diagonal_local(
-                self.graph, allocation, decay=config.decay,
-                max_level=config.max_exploit_level,
-                max_steps=config.max_walk_steps, engine=self._walk_engine)
-        else:
-            diagonal = estimate_diagonal_basic(
-                self.graph, allocation, decay=config.decay,
-                max_steps=config.max_walk_steps, engine=self._walk_engine)
-
         stats = {
             "sample_budget": float(budget),
             "samples_realised": float(realised),
             "samples_capped": float(1.0 if (cap is not None and realised >= cap) else 0.0),
             "nodes_sampled": float(int(np.count_nonzero(allocation))),
-            "diagonal_memory_bytes": float(diagonal.nbytes),
         }
-        return diagonal, stats
+        return allocation, stats
+
+    def _estimate_diagonal(self, hop_ppr: HopPPR) -> tuple[np.ndarray, Dict[str, float]]:
+        """Phase 2: sample allocation + D estimation; returns (D̂, stats)."""
+        diagonals, stats = self._estimate_diagonal_batch([hop_ppr])
+        return diagonals[0], stats[0]
+
+    def _estimate_diagonal_batch(self, hop_pprs: List[HopPPR]
+                                 ) -> tuple[List[np.ndarray], List[Dict[str, float]]]:
+        """Phase 2 for the whole batch in one count-aggregated engine call.
+
+        All sources' allocations feed the batched diagonal estimators: every
+        (source, node) sample allocation becomes one origin of a single
+        aggregated pair-meeting simulation, and — on the optimized path — the
+        heavy nodes' Algorithm 3 explorations share one visit-distribution
+        cache across the batch (a hub allocated by several sources pays for
+        its local neighbourhood once).
+        """
+        config = self.config
+        allocations: List[np.ndarray] = []
+        per_source_stats: List[Dict[str, float]] = []
+        for hop_ppr in hop_pprs:
+            allocation, stats = self._allocate_samples(hop_ppr)
+            allocations.append(allocation)
+            per_source_stats.append(stats)
+
+        if config.use_local_exploitation:
+            diagonals = estimate_diagonal_local_batch(
+                self.graph, allocations, decay=config.decay,
+                max_level=config.max_exploit_level,
+                max_steps=config.max_walk_steps, engine=self._walk_engine,
+                cache=self._distribution_cache)
+        else:
+            diagonals = estimate_diagonal_basic_batch(
+                self.graph, allocations, decay=config.decay,
+                max_steps=config.max_walk_steps, engine=self._walk_engine)
+        cache_bytes = float(self._distribution_cache.memory_bytes())
+        for diagonal, stats in zip(diagonals, per_source_stats):
+            stats["diagonal_memory_bytes"] = float(diagonal.nbytes)
+            stats["distribution_cache_bytes"] = cache_bytes
+        return diagonals, per_source_stats
 
     def _back_substitute(self, hop_ppr: HopPPR, diagonal: np.ndarray) -> np.ndarray:
         """Phase 3: s^L = Σ_ℓ (√c Pᵀ)^ℓ D̂ π_i^ℓ / (1 − √c)."""

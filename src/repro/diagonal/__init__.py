@@ -15,11 +15,12 @@ This package provides every estimator the paper discusses:
   approximation that ParSim and many follow-ups adopt.
 """
 
-from repro.diagonal.basic import estimate_diagonal_basic
+from repro.diagonal.basic import estimate_diagonal_basic, estimate_diagonal_basic_batch
 from repro.diagonal.local import (
     LocalExploitResult,
     estimate_diagonal_entry_local,
     estimate_diagonal_local,
+    estimate_diagonal_local_batch,
     first_meeting_probabilities,
 )
 from repro.diagonal.exact import exact_diagonal, exact_diagonal_entry
@@ -33,9 +34,11 @@ __all__ = [
     "linearized_diagonal_residual",
     "solve_diagonal_linear_system",
     "estimate_diagonal_basic",
+    "estimate_diagonal_basic_batch",
     "LocalExploitResult",
     "estimate_diagonal_entry_local",
     "estimate_diagonal_local",
+    "estimate_diagonal_local_batch",
     "first_meeting_probabilities",
     "exact_diagonal",
     "exact_diagonal_entry",

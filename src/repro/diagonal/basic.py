@@ -7,11 +7,17 @@ R(k) = 0 receive the ParSim default 1 − c, which is exact for nodes with a
 single in-neighbour and harmless for nodes the allocation deems irrelevant to
 the query (their π_i(k) is zero, so they never enter the estimator of
 Theorem 1).
+
+The whole allocation is simulated in one count-aggregated engine call: each
+sampled node is one origin carrying its pair count, so the simulation cost is
+bounded by the distinct occupied pair states instead of the realised sample
+total.  :func:`estimate_diagonal_basic_batch` extends the same single call
+across every source of an ExactSim ``single_source_batch``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +25,44 @@ from repro.graph.digraph import DiGraph
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_vector_length
+
+
+def _checked_allocation(graph: DiGraph, allocations: np.ndarray) -> np.ndarray:
+    allocations = check_vector_length(np.asarray(allocations), graph.num_nodes,
+                                      "allocations")
+    if np.any(allocations < 0):
+        raise ValueError("allocations must be non-negative")
+    return allocations.astype(np.int64)
+
+
+def _default_diagonal(graph: DiGraph, decay: float) -> np.ndarray:
+    diagonal = np.full(graph.num_nodes, 1.0 - decay, dtype=np.float64)
+    diagonal[graph.in_degrees == 0] = 1.0
+    return diagonal
+
+
+def _apply_pair_meetings(walker: SqrtCWalkEngine, diagonals: Sequence[np.ndarray],
+                         node_lists: Sequence[np.ndarray],
+                         count_lists: Sequence[np.ndarray],
+                         max_steps: int) -> None:
+    """Algorithm 2 for several per-source node/count selections in one call.
+
+    Concatenates every (source, node, R) origin into a single aggregated
+    pair-meeting simulation and scatters ``1 − met/R`` back into each
+    source's diagonal.  Shared by the basic batch estimator and the
+    light-node stage of the Algorithm 3 batch.
+    """
+    offsets = np.cumsum([0] + [nodes.shape[0] for nodes in node_lists])
+    if offsets[-1] == 0:
+        return
+    met = walker.pair_meet_counts(np.concatenate(node_lists),
+                                  np.concatenate(count_lists),
+                                  max_steps=max_steps)
+    for position, (diagonal, nodes, counts) in enumerate(
+            zip(diagonals, node_lists, count_lists)):
+        if nodes.size:
+            slot = slice(offsets[position], offsets[position + 1])
+            diagonal[nodes] = 1.0 - met[slot] / counts
 
 
 def estimate_diagonal_basic(graph: DiGraph, allocations: np.ndarray, *,
@@ -37,29 +81,40 @@ def estimate_diagonal_basic(graph: DiGraph, allocations: np.ndarray, *,
     numpy.ndarray
         Array ``d`` of length ``n`` with the estimated diagonal entries.
     """
-    allocations = check_vector_length(np.asarray(allocations), graph.num_nodes, "allocations")
-    if np.any(allocations < 0):
-        raise ValueError("allocations must be non-negative")
+    walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
+    return estimate_diagonal_basic_batch(graph, [allocations], decay=decay,
+                                         max_steps=max_steps, engine=walker)[0]
 
+
+def estimate_diagonal_basic_batch(graph: DiGraph,
+                                  allocations_list: Sequence[np.ndarray], *,
+                                  decay: float = 0.6, max_steps: int = 64,
+                                  seed: SeedLike = None,
+                                  engine: Optional[SqrtCWalkEngine] = None
+                                  ) -> List[np.ndarray]:
+    """Algorithm 2 for several allocations (one per batched source) at once.
+
+    Every (source, node) pair with a positive allocation becomes one origin of
+    a single count-aggregated pair-meeting call, so a whole
+    ``single_source_batch`` pays for one simulation whose cost tracks the
+    union of occupied pair states rather than the summed sample budgets.
+    Trivial nodes (0 or 1 in-neighbour) are exact without samples, as in the
+    sequential estimator.
+    """
+    allocations_list = [_checked_allocation(graph, a) for a in allocations_list]
     walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
     in_degrees = graph.in_degrees
+    node_ids = np.arange(graph.num_nodes, dtype=np.int64)
 
-    diagonal = np.full(graph.num_nodes, 1.0 - decay, dtype=np.float64)
-    diagonal[in_degrees == 0] = 1.0
-
-    # Trivial nodes (0 or 1 in-neighbour) are exact without samples; all other
-    # sampled nodes are estimated in one vectorised pass: one pair of √c-walks
-    # per allocated sample, all advancing in lock-step.
-    allocations = allocations.astype(np.int64)
-    sampled = (allocations > 0) & (in_degrees > 1)
-    if not sampled.any():
-        return diagonal
-    pair_starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64)[sampled],
-                            allocations[sampled])
-    met = walker.pair_walks_meet_batch(pair_starts, max_steps=max_steps)
-    met_counts = np.bincount(pair_starts[met], minlength=graph.num_nodes)
-    diagonal[sampled] = 1.0 - met_counts[sampled] / allocations[sampled]
-    return diagonal
+    diagonals = [_default_diagonal(graph, decay) for _ in allocations_list]
+    node_lists: List[np.ndarray] = []
+    count_lists: List[np.ndarray] = []
+    for allocations in allocations_list:
+        sampled = (allocations > 0) & (in_degrees > 1)
+        node_lists.append(node_ids[sampled])
+        count_lists.append(allocations[sampled])
+    _apply_pair_meetings(walker, diagonals, node_lists, count_lists, max_steps)
+    return diagonals
 
 
-__all__ = ["estimate_diagonal_basic"]
+__all__ = ["estimate_diagonal_basic", "estimate_diagonal_basic_batch"]

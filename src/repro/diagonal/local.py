@@ -16,25 +16,32 @@ target level ℓ(k) is chosen adaptively: the deterministic exploration stops
 as soon as the number of traversed edges exceeds 2·R(k)/√c, the expected cost
 of simulating the R(k) walk pairs it replaces.
 
-Frontier-kernel design
-----------------------
+Batching design
+---------------
 The propagation step behind the recursion is one call into
-:func:`repro.kernels.propagate_distribution`, and the Lemma 4 subtraction
-itself is array-backed: every distribution stays an
-:class:`~repro.kernels.SparseVector` (sorted unique indices), each Z_ℓ level
-is a pair of parallel ``(indices, values)`` arrays, and the inner
-``Σ_{q'} …`` update intersects the support of ``(Pᵀ)^{ℓ-ℓ'}(q', ·)`` with
-the Z_ℓ support via ``np.searchsorted`` — one vectorized subtraction per
-``q'`` instead of one Python dict update per ``(q', q)`` pair.  The
-:class:`_DistributionCache` preserves the :class:`BudgetExhausted`
-edge-budget semantics exactly: every traversed edge is charged *before* the
-next level is materialized.
+:func:`repro.kernels.propagate_distribution`; the Lemma 4 subtraction batches
+the ``(q', remaining)`` distribution lookups of a level — every ``q'``
+distribution is fetched (charging the edge budget in the same order as the
+scalar loop), their supports are concatenated, and one ``np.searchsorted``
+intersection plus a single ``np.subtract.at`` scatter applies the whole
+``Σ_{q'} …`` update at once.  The :class:`DistributionCache` is shareable
+across nodes *and* across the sources of a ``single_source_batch``: each
+Algorithm 3 invocation opens a fresh budget window that charges every edge
+the scalar recursion would traverse — cached or not, so the adaptive ℓ(k)
+choice is identical to a fresh per-node cache — while distributions another
+node already materialised cost a lookup instead of a propagation, the
+walk-pooling reuse the compacted sampling substrate exploits elsewhere.
+
+The sampling side rides the count-aggregated walk engine: lightly sampled
+nodes form one batched pair-meeting call, and the Algorithm 3 tail estimates
+of all heavy nodes are issued as a second batched call with per-origin
+non-stop prefixes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,9 +49,8 @@ from repro.graph.digraph import DiGraph
 from repro.kernels.frontier import propagate_distribution
 from repro.kernels.sparsevec import SparseVector
 from repro.randomwalk.engine import SqrtCWalkEngine
-from repro.randomwalk.meeting import estimate_tail_meeting_probability
 from repro.utils.rng import SeedLike
-from repro.utils.validation import check_node_index, check_positive_int, check_vector_length
+from repro.utils.validation import check_node_index, check_positive_int
 
 # A sparse probability distribution over nodes (the public dict view).
 Distribution = Dict[int, float]
@@ -62,49 +68,139 @@ def _propagate(graph: DiGraph, distribution: SparseVector) -> Tuple[SparseVector
 
 
 class BudgetExhausted(Exception):
-    """Raised by :class:`_DistributionCache` when the edge budget is spent."""
+    """Raised by :class:`DistributionCache` when the edge budget is spent."""
 
 
-class _DistributionCache:
+class DistributionCache:
     """Lazily extended non-stop walk distributions from arbitrary start nodes.
 
-    ``edge_budget`` implements Algorithm 3's cost counter E_k: every traversed
-    edge is charged to the budget, and the cache raises
-    :class:`BudgetExhausted` as soon as the budget is spent so the caller can
-    stop the deterministic exploration mid-level (exactly the paper's
-    ``goto OUTLOOP``).
+    ``edge_budget`` implements Algorithm 3's cost counter E_k: every edge the
+    *scalar* recursion would traverse is charged to the current budget window
+    — including edges whose distribution is already cached from an earlier
+    window — and the cache raises :class:`BudgetExhausted` as soon as the
+    window's budget is spent so the caller can stop the deterministic
+    exploration mid-level (exactly the paper's ``goto OUTLOOP``).
+
+    Charging cached levels keeps the adaptive ℓ(k) choice *identical* to a
+    fresh per-node cache (the paper's cost model balances deterministic work
+    against the sampling it replaces; a "free" cache would push ℓ(k) ever
+    deeper and blow up the recursion's own superlinear cost).  What sharing
+    buys is wall-clock: a charged-but-cached level costs one dictionary
+    lookup instead of a CSR propagation, so heavy nodes with overlapping
+    neighbourhoods — and the same node allocated by several batched sources —
+    materialise each distribution once per process instead of once per
+    invocation.
     """
 
-    def __init__(self, graph: DiGraph, edge_budget: Optional[float] = None):
+    #: Entry cap on the exploration memo (each entry is a small tuple, so
+    #: this bounds it to a few MB); a full memo is dropped wholesale — it is
+    #: a pure wall-clock optimisation, never a correctness dependency.
+    MAX_MEMO_ENTRIES = 1 << 16
+
+    def __init__(self, graph: DiGraph, edge_budget: Optional[float] = None,
+                 max_bytes: Optional[int] = None):
         self._graph = graph
         self._cache: Dict[int, List[SparseVector]] = {}
+        self._costs: Dict[int, List[int]] = {}
+        self._window_depth: Dict[int, int] = {}
+        # Memo of completed deterministic explorations: because every budget
+        # window charges cached levels, the outcome of _exploit_deterministic
+        # is a pure function of (node, num_pairs, max_level, decay) — repeat
+        # invocations (the same allocation across batched sources, or across
+        # successive queries of a long-lived engine) skip the whole Lemma 4
+        # recursion, not just the propagations.
+        self._exploit_memo: Dict[Tuple[int, int, int, float],
+                                 Tuple[int, float, int]] = {}
+        self._cached_bytes = 0
         self.traversed_edges = 0
         self.edge_budget = edge_budget
+        self.max_bytes = max_bytes
+
+    def open_budget_window(self, edge_budget: Optional[float]) -> None:
+        """Start a fresh budget window; cached distributions stay materialised.
+
+        With ``max_bytes`` set, an over-budget cache drops its distributions
+        *here* — between explorations, never mid-recursion — so peak memory
+        stays bounded even inside a large batch (eviction changes no result:
+        the edge budget charges cached levels regardless).  The exploration
+        memo survives eviction: its entries are warmth-independent.
+        """
+        if self.max_bytes is not None and self._cached_bytes > self.max_bytes:
+            self._cache = {}
+            self._costs = {}
+            self._cached_bytes = 0
+        self.edge_budget = edge_budget
+        self.traversed_edges = 0
+        self._window_depth = {}
+
+    def _store(self, start: int, vector: SparseVector) -> List[SparseVector]:
+        self._cached_bytes += int(vector.indices.nbytes + vector.values.nbytes)
+        return [vector]
 
     def distribution(self, start: int, steps: int) -> SparseVector:
-        levels = self._cache.setdefault(
-            start, [SparseVector(np.array([start], dtype=np.int64),
-                                 np.array([1.0], dtype=np.float64))])
+        levels = self._cache.get(start)
+        if levels is None:
+            levels = self._cache[start] = self._store(
+                start, SparseVector(np.array([start], dtype=np.int64),
+                                    np.array([1.0], dtype=np.float64)))
+        costs = self._costs.setdefault(start, [0])
+        charged = self._window_depth.get(start, 0)
+        # Charge already-materialised levels this window has not paid for yet,
+        # in the same per-level order the scalar recursion would traverse.
+        while charged < min(steps, len(levels) - 1):
+            if self.edge_budget is not None and self.traversed_edges >= self.edge_budget:
+                raise BudgetExhausted()
+            charged += 1
+            self.traversed_edges += costs[charged]
+            self._window_depth[start] = charged
         while len(levels) <= steps:
             if self.edge_budget is not None and self.traversed_edges >= self.edge_budget:
                 raise BudgetExhausted()
             extended, cost = _propagate(self._graph, levels[-1])
             self.traversed_edges += cost
+            self._cached_bytes += int(extended.indices.nbytes
+                                      + extended.values.nbytes)
             levels.append(extended)
+            costs.append(cost)
+            charged += 1
+            self._window_depth[start] = charged
         return levels[steps]
 
+    def memory_bytes(self) -> int:
+        """Bytes held by every cached distribution (the cache grows with use)."""
+        return self._cached_bytes
 
-def _z_level(cache: _DistributionCache, node: int, level: int,
+    def clear(self) -> None:
+        """Drop every cached distribution (semantically free: only wall-clock).
+
+        Long-lived owners call this to bound memory — the budget accounting
+        charges cached levels anyway, so a cleared cache changes no result,
+        it only re-materialises distributions on the next request.
+        """
+        self._cache = {}
+        self._costs = {}
+        self._window_depth = {}
+        self._exploit_memo = {}
+        self._cached_bytes = 0
+
+
+#: Backwards-compatible private alias (the cache predates its public name).
+_DistributionCache = DistributionCache
+
+
+def _z_level(cache: DistributionCache, node: int, level: int,
              z_levels: List[Tuple[np.ndarray, np.ndarray]], decay: float
              ) -> Tuple[np.ndarray, np.ndarray]:
     """One level of the Lemma 4 recursion as sorted parallel arrays.
 
     Z_ℓ(k, q) = c^ℓ (Pᵀ)^ℓ(k, q)² − Σ_{ℓ'<ℓ} Σ_{q'} c^{ℓ-ℓ'}
-    (Pᵀ)^{ℓ-ℓ'}(q', q)² · Z_{ℓ'}(k, q').  The outer sums stay Python loops
-    (each ``q'`` owns its own distribution), but the per-``q`` subtraction is
-    one ``np.searchsorted`` support intersection followed by a vectorized
-    scatter-subtract.  Entries that end up non-positive are dropped, exactly
-    like the dict implementation's ``max(value, 0)`` + filter.
+    (Pᵀ)^{ℓ-ℓ'}(q', q)² · Z_{ℓ'}(k, q').  The ``(q', remaining)``
+    distribution lookups of each inner level are fetched in the scalar loop's
+    order (so the edge budget is charged identically), but the subtraction is
+    batched: all supports concatenate into one ``np.searchsorted``
+    intersection against the Z_ℓ support and one ``np.subtract.at`` scatter.
+    Entries that end up non-positive are dropped, exactly like the dict
+    implementation's ``max(value, 0)`` + filter.
 
     Raises :class:`BudgetExhausted` from the cache when the edge budget is
     spent mid-level.
@@ -116,19 +212,23 @@ def _z_level(cache: _DistributionCache, node: int, level: int,
         prev_indices, prev_values = z_levels[first_meeting_level - 1]
         remaining = level - first_meeting_level
         factor = decay ** remaining
+        index_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
         for q_prime, z_value in zip(prev_indices.tolist(), prev_values.tolist()):
             if z_value <= 0.0:
                 continue
             from_q_prime = cache.distribution(q_prime, remaining)
-            positions = np.searchsorted(z_indices, from_q_prime.indices)
-            positions = np.minimum(positions, max(z_indices.shape[0] - 1, 0))
-            hit = (z_indices[positions] == from_q_prime.indices) \
-                if z_indices.size else np.zeros(0, dtype=bool)
-            if not hit.any():
-                continue
-            probabilities = from_q_prime.values[hit]
-            z_values[positions[hit]] -= (z_value * factor) * \
-                probabilities * probabilities
+            index_parts.append(from_q_prime.indices)
+            weight_parts.append(z_value * from_q_prime.values * from_q_prime.values)
+        if not index_parts or z_indices.size == 0:
+            continue
+        support = np.concatenate(index_parts)
+        weights = np.concatenate(weight_parts)
+        positions = np.searchsorted(z_indices, support)
+        positions = np.minimum(positions, z_indices.shape[0] - 1)
+        hit = z_indices[positions] == support
+        if hit.any():
+            np.subtract.at(z_values, positions[hit], factor * weights[hit])
     keep = z_values > 0.0
     return z_indices[keep], z_values[keep]
 
@@ -157,7 +257,7 @@ def first_meeting_probabilities(graph: DiGraph, node: int, max_level: int, *,
     """
     node = check_node_index(node, graph.num_nodes)
     max_level = check_positive_int(max_level, "max_level")
-    cache = _DistributionCache(graph)
+    cache = DistributionCache(graph)
     z_levels: List[Tuple[np.ndarray, np.ndarray]] = []
     for level in range(1, max_level + 1):
         z_levels.append(_z_level(cache, node, level, z_levels, decay))
@@ -165,39 +265,24 @@ def first_meeting_probabilities(graph: DiGraph, node: int, max_level: int, *,
             for indices, values in z_levels]
 
 
-def estimate_diagonal_entry_local(graph: DiGraph, node: int, num_pairs: int, *,
-                                  decay: float = 0.6, max_level: int = 20,
-                                  max_steps: int = 64, seed: SeedLike = None,
-                                  engine: Optional[SqrtCWalkEngine] = None
-                                  ) -> LocalExploitResult:
-    """Algorithm 3: estimate D(node, node) with deterministic local exploitation.
+def _exploit_deterministic(graph: DiGraph, cache: DistributionCache, node: int,
+                           num_pairs: int, *, decay: float, max_level: int
+                           ) -> Tuple[int, float, int]:
+    """The deterministic half of Algorithm 3 for one node.
 
-    Parameters
-    ----------
-    num_pairs:
-        The sample budget R(k) this node was allocated; it both caps the
-        deterministic edge budget (2·R(k)/√c) and sets the number of walk
-        pairs used for the tail estimate.
-    max_level:
-        Hard cap on ℓ(k); the paper's adaptive rule almost always stops far
-        earlier because the edge budget is exhausted.
+    Opens a fresh budget window on the (possibly shared) ``cache`` and runs
+    the Lemma 4 recursion until the edge budget 2·R(k)/√c is spent.  Returns
+    ``(chosen_level, deterministic_mass, traversed_edges)``.  The window
+    charges cached levels, so the outcome is independent of cache warmth and
+    memoised on the cache: a repeated (node, budget) invocation is a lookup.
     """
-    node = check_node_index(node, graph.num_nodes)
-    in_degree = graph.in_degree(node)
-    if in_degree == 0:
-        return LocalExploitResult(node=node, estimate=1.0, chosen_level=0,
-                                  deterministic_mass=0.0, tail_estimate=0.0,
-                                  traversed_edges=0, sampled_pairs=0, exact=True)
-    if in_degree == 1:
-        return LocalExploitResult(node=node, estimate=1.0 - decay, chosen_level=0,
-                                  deterministic_mass=decay, tail_estimate=0.0,
-                                  traversed_edges=0, sampled_pairs=0, exact=True)
-
-    num_pairs = check_positive_int(num_pairs, "num_pairs")
+    memo_key = (node, num_pairs, max_level, decay)
+    memoised = cache._exploit_memo.get(memo_key)
+    if memoised is not None:
+        return memoised
     sqrt_c = float(np.sqrt(decay))
     edge_budget = 2.0 * num_pairs / sqrt_c
-
-    cache = _DistributionCache(graph, edge_budget=edge_budget)
+    cache.open_budget_window(edge_budget)
     z_levels: List[Tuple[np.ndarray, np.ndarray]] = []
     chosen_level = 0
     for level in range(1, max_level + 1):
@@ -211,27 +296,80 @@ def estimate_diagonal_entry_local(graph: DiGraph, node: int, num_pairs: int, *,
             break
         z_levels.append(z_current)
         chosen_level = level
-
     deterministic_mass = float(sum(values.sum() for _, values in z_levels))
+    result = (chosen_level, deterministic_mass, cache.traversed_edges)
+    if len(cache._exploit_memo) >= DistributionCache.MAX_MEMO_ENTRIES:
+        cache._exploit_memo.clear()
+    cache._exploit_memo[memo_key] = result
+    return result
+
+
+def _needs_tail(chosen_level: int, num_pairs: int, decay: float) -> bool:
+    """Whether the tail beyond ℓ(k) is worth sampling at this budget.
+
+    If the surviving-pair probability c^ℓ(k) is already below the resolution
+    of the sample budget there is nothing worth sampling.
+    """
+    return (decay ** chosen_level) * num_pairs >= 1.0
+
+
+def estimate_diagonal_entry_local(graph: DiGraph, node: int, num_pairs: int, *,
+                                  decay: float = 0.6, max_level: int = 20,
+                                  max_steps: int = 64, seed: SeedLike = None,
+                                  engine: Optional[SqrtCWalkEngine] = None,
+                                  cache: Optional[DistributionCache] = None
+                                  ) -> LocalExploitResult:
+    """Algorithm 3: estimate D(node, node) with deterministic local exploitation.
+
+    Parameters
+    ----------
+    num_pairs:
+        The sample budget R(k) this node was allocated; it both caps the
+        deterministic edge budget (2·R(k)/√c) and sets the number of walk
+        pairs used for the tail estimate.
+    max_level:
+        Hard cap on ℓ(k); the paper's adaptive rule almost always stops far
+        earlier because the edge budget is exhausted.
+    cache:
+        An optional shared :class:`DistributionCache`.  Sharing saves
+        wall-clock (distributions and completed explorations materialised by
+        earlier invocations are reused), but the edge budget still charges
+        cached levels, so the chosen ℓ(k) — and hence the estimate's
+        distribution — is identical to running with a fresh cache.
+    """
+    node = check_node_index(node, graph.num_nodes)
+    in_degree = graph.in_degree(node)
+    if in_degree == 0:
+        return LocalExploitResult(node=node, estimate=1.0, chosen_level=0,
+                                  deterministic_mass=0.0, tail_estimate=0.0,
+                                  traversed_edges=0, sampled_pairs=0, exact=True)
+    if in_degree == 1:
+        return LocalExploitResult(node=node, estimate=1.0 - decay, chosen_level=0,
+                                  deterministic_mass=decay, tail_estimate=0.0,
+                                  traversed_edges=0, sampled_pairs=0, exact=True)
+
+    num_pairs = check_positive_int(num_pairs, "num_pairs")
+    if cache is None:
+        cache = DistributionCache(graph)
+    chosen_level, deterministic_mass, traversed = _exploit_deterministic(
+        graph, cache, node, num_pairs, decay=decay, max_level=max_level)
     estimate = 1.0 - deterministic_mass
 
-    # Tail: remaining first-meeting mass beyond the deterministic horizon.  If
-    # the surviving-pair probability c^ℓ(k) is already below the resolution of
-    # the sample budget there is nothing worth sampling.
+    # Tail: remaining first-meeting mass beyond the deterministic horizon.
     tail_estimate = 0.0
-    tail_resolution = decay ** chosen_level
-    if tail_resolution * num_pairs >= 1.0:
+    if _needs_tail(chosen_level, num_pairs, decay):
         walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
-        tail_estimate = estimate_tail_meeting_probability(
-            graph, node, num_pairs, chosen_level,
-            decay=decay, max_steps=max_steps, engine=walker)
+        met = walker.pair_meet_counts(
+            np.array([node], dtype=np.int64), np.array([num_pairs], dtype=np.int64),
+            max_steps=max_steps, skip_steps=chosen_level)
+        tail_estimate = float(decay ** chosen_level) * float(met[0]) / float(num_pairs)
         estimate -= tail_estimate
 
     estimate = float(min(max(estimate, 0.0), 1.0))
     return LocalExploitResult(node=node, estimate=estimate, chosen_level=chosen_level,
                               deterministic_mass=deterministic_mass,
                               tail_estimate=tail_estimate,
-                              traversed_edges=cache.traversed_edges,
+                              traversed_edges=traversed,
                               sampled_pairs=num_pairs)
 
 
@@ -239,7 +377,8 @@ def estimate_diagonal_local(graph: DiGraph, allocations: np.ndarray, *,
                             decay: float = 0.6, max_level: int = 20,
                             max_steps: int = 64, seed: SeedLike = None,
                             min_pairs_for_exploitation: int = 32,
-                            engine: Optional[SqrtCWalkEngine] = None) -> np.ndarray:
+                            engine: Optional[SqrtCWalkEngine] = None,
+                            cache: Optional[DistributionCache] = None) -> np.ndarray:
     """Estimate the full diagonal with Algorithm 3 under the given allocation.
 
     Nodes whose allocation is below ``min_pairs_for_exploitation`` fall back
@@ -248,41 +387,100 @@ def estimate_diagonal_local(graph: DiGraph, allocations: np.ndarray, *,
     neighbourhood many times (the paper's budget rule makes the same call
     implicitly by choosing ℓ(k) = 0-ish levels for lightly sampled nodes).
     """
-    allocations = check_vector_length(np.asarray(allocations), graph.num_nodes, "allocations")
-    if np.any(allocations < 0):
-        raise ValueError("allocations must be non-negative")
     walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
+    return estimate_diagonal_local_batch(
+        graph, [allocations], decay=decay, max_level=max_level,
+        max_steps=max_steps, min_pairs_for_exploitation=min_pairs_for_exploitation,
+        engine=walker, cache=cache)[0]
+
+
+def estimate_diagonal_local_batch(graph: DiGraph,
+                                  allocations_list: Sequence[np.ndarray], *,
+                                  decay: float = 0.6, max_level: int = 20,
+                                  max_steps: int = 64, seed: SeedLike = None,
+                                  min_pairs_for_exploitation: int = 32,
+                                  engine: Optional[SqrtCWalkEngine] = None,
+                                  cache: Optional[DistributionCache] = None
+                                  ) -> List[np.ndarray]:
+    """Algorithm 3 for several allocations (one per batched source) at once.
+
+    Three batched stages serve the whole batch:
+
+    1. every lightly sampled (source, node) pair joins one count-aggregated
+       pair-meeting call (plain Algorithm 2);
+    2. the deterministic explorations of all heavy nodes share one
+       :class:`DistributionCache` — a heavy node allocated by several
+       sources (or a neighbourhood overlapping another's) pays for its
+       distributions once;
+    3. the tail estimates of every heavy node across every source form one
+       aggregated pair-meeting call with per-origin non-stop prefixes ℓ(k).
+    """
+    from repro.diagonal.basic import (_apply_pair_meetings, _checked_allocation,
+                                      _default_diagonal)
+
+    checked = [_checked_allocation(graph, allocations)
+               for allocations in allocations_list]
+
+    walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
+    if cache is None:
+        cache = DistributionCache(graph)
     in_degrees = graph.in_degrees
-    allocations = allocations.astype(np.int64)
+    node_ids = np.arange(graph.num_nodes, dtype=np.int64)
+    diagonals = [_default_diagonal(graph, decay) for _ in checked]
 
-    diagonal = np.full(graph.num_nodes, 1.0 - decay, dtype=np.float64)
-    diagonal[in_degrees == 0] = 1.0
+    # Stage 1 — light nodes of every source, one aggregated Algorithm 2 call.
+    light_nodes: List[np.ndarray] = []
+    light_counts: List[np.ndarray] = []
+    for allocations in checked:
+        light = ((allocations > 0) & (allocations < min_pairs_for_exploitation)
+                 & (in_degrees > 1))
+        light_nodes.append(node_ids[light])
+        light_counts.append(allocations[light])
+    _apply_pair_meetings(walker, diagonals, light_nodes, light_counts, max_steps)
 
-    # Lightly sampled nodes: plain Algorithm 2, batched into one vectorised
-    # pass (deterministic exploitation would cost more than the walks it
-    # replaces there).  Heavily sampled nodes: Algorithm 3 node by node.
-    light = (allocations > 0) & (allocations < min_pairs_for_exploitation) & (in_degrees > 1)
-    heavy = (allocations >= min_pairs_for_exploitation) & (in_degrees > 1)
+    # Stage 2 — deterministic exploitation of every heavy node (shared cache).
+    tail_sources: List[int] = []
+    tail_nodes: List[int] = []
+    tail_pairs: List[int] = []
+    tail_levels: List[int] = []
+    deterministic: List[Tuple[int, int, float]] = []   # (source idx, node, mass)
+    for source_index, allocations in enumerate(checked):
+        heavy = (allocations >= min_pairs_for_exploitation) & (in_degrees > 1)
+        for node in np.flatnonzero(heavy):
+            node = int(node)
+            num_pairs = int(allocations[node])
+            chosen_level, mass, _ = _exploit_deterministic(
+                graph, cache, node, num_pairs, decay=decay, max_level=max_level)
+            deterministic.append((source_index, node, mass))
+            if _needs_tail(chosen_level, num_pairs, decay):
+                tail_sources.append(source_index)
+                tail_nodes.append(node)
+                tail_pairs.append(num_pairs)
+                tail_levels.append(chosen_level)
 
-    if light.any():
-        pair_starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64)[light],
-                                allocations[light])
-        met = walker.pair_walks_meet_batch(pair_starts, max_steps=max_steps)
-        met_counts = np.bincount(pair_starts[met], minlength=graph.num_nodes)
-        diagonal[light] = 1.0 - met_counts[light] / allocations[light]
+    for source_index, node, mass in deterministic:
+        diagonals[source_index][node] = min(max(1.0 - mass, 0.0), 1.0)
 
-    for node in np.flatnonzero(heavy):
-        node = int(node)
-        result = estimate_diagonal_entry_local(
-            graph, node, int(allocations[node]),
-            decay=decay, max_level=max_level, max_steps=max_steps, engine=walker)
-        diagonal[node] = result.estimate
-    return diagonal
+    # Stage 3 — all tails in one aggregated call with per-origin prefixes.
+    if tail_nodes:
+        pairs = np.asarray(tail_pairs, dtype=np.int64)
+        levels = np.asarray(tail_levels, dtype=np.int64)
+        met = walker.pair_meet_counts(np.asarray(tail_nodes, dtype=np.int64),
+                                      pairs, max_steps=max_steps,
+                                      skip_steps=levels)
+        tails = (decay ** levels.astype(np.float64)) * met / pairs
+        for source_index, node, tail in zip(tail_sources, tail_nodes, tails):
+            diagonal = diagonals[source_index]
+            diagonal[node] = min(max(diagonal[node] - float(tail), 0.0), 1.0)
+    return diagonals
 
 
 __all__ = [
+    "BudgetExhausted",
+    "DistributionCache",
     "LocalExploitResult",
-    "first_meeting_probabilities",
     "estimate_diagonal_entry_local",
     "estimate_diagonal_local",
+    "estimate_diagonal_local_batch",
+    "first_meeting_probabilities",
 ]

@@ -1,13 +1,16 @@
-"""Vectorised √c-walk simulation and meeting-probability estimation."""
+"""Compacted / count-aggregated √c-walk simulation and meeting estimation."""
 
-from repro.randomwalk.engine import SqrtCWalkEngine, WalkBatch
+from repro.randomwalk.engine import CountFrontier, SqrtCWalkEngine, WalkBatch
 from repro.randomwalk.meeting import (
     estimate_meeting_probability,
     estimate_diagonal_entry,
     estimate_tail_meeting_probability,
 )
+from repro.randomwalk.reference import ReferenceWalkEngine
 
 __all__ = [
+    "CountFrontier",
+    "ReferenceWalkEngine",
     "SqrtCWalkEngine",
     "WalkBatch",
     "estimate_meeting_probability",

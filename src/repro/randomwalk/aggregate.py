@@ -1,0 +1,262 @@
+"""Count-aggregated √c-walk kernels.
+
+The Monte-Carlo phases of the paper (MC/ProbeSim sampling, the Algorithm 2/3
+diagonal estimators, ExactSim phase 2) all simulate ensembles of memoryless
+walks whose *individual identities never matter* — every consumer reduces the
+ensemble to visit counts per (node, step) or to meeting counts per start
+node.  That makes the walks exchangeable, so instead of advancing one array
+slot per walk the kernels here collapse all walks occupying the same state
+into a single ``(state, count)`` pair and advance the pair with closed-form
+distributions:
+
+* the √c stopping coin over ``m`` collapsed walks is one ``Binomial(m, √c)``
+  draw instead of ``m`` uniforms;
+* the uniform neighbour choice of ``m`` collapsed walks at a node of
+  in-degree ``d`` is one ``Multinomial(m, 1/d, …, 1/d)`` draw over the CSR
+  slice instead of ``m`` categorical draws (READS/SLING-style walk pooling).
+
+Per step the cost is bounded by the number of *distinct occupied states*
+(plus the touched CSR slices), not by the number of simulated walks — the
+decisive regime for ExactSim's single-source sampling where ``num_walks``
+dwarfs the reachable neighbourhood.
+
+All kernels draw from a caller-supplied :class:`numpy.random.Generator`, so
+identical seeds reproduce identical results bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+
+
+def group_sum(counts: np.ndarray, *keys: np.ndarray
+              ) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
+    """Aggregate ``counts`` by the composite ``keys``.
+
+    Returns ``(unique_keys, summed_counts)`` with the unique key tuples in
+    lexicographic order (last key varies slowest, matching ``np.lexsort``).
+    Keys must be non-negative.  When the key ranges fit one int64 the keys are
+    packed into a single sort key (≈3× cheaper than a multi-array lexsort);
+    otherwise the generic lexsort path runs.
+    """
+    if counts.size == 0:
+        return tuple(np.asarray(k, dtype=np.int64) for k in keys), _EMPTY_INT
+    keys64 = [np.asarray(k, dtype=np.int64) for k in keys]
+    packed = _pack_keys(keys64)
+    if packed is not None:
+        order = np.argsort(packed)
+        sorted_packed = packed[order]
+        boundary = np.empty(sorted_packed.shape[0], dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_packed[1:], sorted_packed[:-1], out=boundary[1:])
+    else:
+        order = np.lexsort(keys64)
+        boundary = np.zeros(counts.shape[0], dtype=bool)
+        boundary[0] = True
+        for key in keys64:
+            sorted_key = key[order]
+            boundary[1:] |= sorted_key[1:] != sorted_key[:-1]
+    group_ids = np.cumsum(boundary) - 1
+    sums = np.bincount(group_ids, weights=counts[order]).astype(np.int64)
+    firsts = order[np.flatnonzero(boundary)]
+    return tuple(key[firsts] for key in keys64), sums
+
+
+def _pack_keys(keys64) -> Optional[np.ndarray]:
+    """Pack multiple non-negative keys into one int64 sort key, or ``None``.
+
+    The last key is the most significant digit, matching ``np.lexsort``'s
+    lexicographic order.
+    """
+    if len(keys64) == 1:
+        return keys64[0]
+    spans = [int(key.max()) + 1 for key in keys64]
+    width = 1
+    for span in spans[:-1]:
+        width *= span
+    if width * spans[-1] >= 2 ** 62:
+        return None
+    packed = keys64[-1]
+    for key, span in zip(reversed(keys64[:-1]), reversed(spans[:-1])):
+        packed = packed * span + key
+    return packed
+
+
+def multinomial_split(rng: np.random.Generator, indptr: np.ndarray,
+                      indices: np.ndarray, nodes: np.ndarray, counts: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distribute ``counts[i]`` walks at ``nodes[i]`` uniformly over in-neighbours.
+
+    Returns ``(rows, destinations, split_counts)`` where ``rows`` indexes back
+    into the input state arrays; only non-zero splits are emitted.  The caller
+    must guarantee ``counts > 0`` and in-degree > 0 for every state.
+
+    Two regimes per state, chosen to bound the work by
+    ``min(count, degree)``:
+
+    * **dense** (``count ≥ degree``): one multinomial draw over the node's
+      CSR slice.  States are grouped by degree so each distinct degree costs
+      a single vectorised ``Generator.multinomial`` call.
+    * **sparse** (``count < degree``): expanding the multinomial would touch
+      more edges than there are walks (hub nodes with a handful of walkers),
+      so each walk draws its edge offset directly — O(count), never worse
+      than the per-walk engine.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    degrees = indptr[nodes + 1] - indptr[nodes]
+
+    row_parts = []
+    dest_parts = []
+    count_parts = []
+
+    sparse = counts < degrees
+    if sparse.any():
+        sparse_rows = np.flatnonzero(sparse)
+        walk_rows = np.repeat(sparse_rows, counts[sparse_rows])
+        walk_nodes = nodes[walk_rows]
+        walk_degrees = degrees[walk_rows]
+        offsets = (rng.random(walk_rows.shape[0]) * walk_degrees).astype(np.int64)
+        dests = indices[indptr[walk_nodes] + offsets]
+        row_parts.append(walk_rows)
+        dest_parts.append(dests)
+        count_parts.append(np.ones(walk_rows.shape[0], dtype=np.int64))
+
+    dense = ~sparse
+    if dense.any():
+        dense_rows = np.flatnonzero(dense)
+        order = np.argsort(degrees[dense_rows], kind="stable")
+        dense_rows = dense_rows[order]
+        dense_degrees = degrees[dense_rows]
+        boundaries = np.flatnonzero(np.diff(dense_degrees)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [dense_rows.shape[0]]))
+        for lo, hi in zip(starts, ends):
+            degree = int(dense_degrees[lo])
+            group_rows = dense_rows[lo:hi]
+            group_counts = counts[group_rows]
+            if degree == 1:
+                splits = group_counts[:, np.newaxis]
+            else:
+                splits = rng.multinomial(group_counts,
+                                         np.full(degree, 1.0 / degree))
+            base = indptr[nodes[group_rows]]
+            dests = indices[(base[:, np.newaxis]
+                             + np.arange(degree, dtype=np.int64)).ravel()]
+            flat = splits.ravel().astype(np.int64)
+            keep = flat > 0
+            row_parts.append(np.repeat(group_rows, degree)[keep])
+            dest_parts.append(dests[keep])
+            count_parts.append(flat[keep])
+
+    if not row_parts:
+        return _EMPTY_INT, _EMPTY_INT, _EMPTY_INT
+    return (np.concatenate(row_parts), np.concatenate(dest_parts),
+            np.concatenate(count_parts))
+
+
+def advance_frontier(rng: np.random.Generator, indptr: np.ndarray,
+                     indices: np.ndarray, in_degrees: np.ndarray,
+                     nodes: np.ndarray, counts: np.ndarray,
+                     survival: float) -> Tuple[np.ndarray, np.ndarray]:
+    """One aggregated √c-walk step of a ``(nodes, counts)`` frontier.
+
+    Each of the collapsed walks survives independently with probability
+    ``survival`` (pass 1.0 for a non-stop prefix step); survivors at dangling
+    nodes stop regardless.  Returns the aggregated next frontier.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if survival < 1.0:
+        counts = rng.binomial(counts, survival)
+    keep = (counts > 0) & (in_degrees[nodes] > 0)
+    nodes, counts = nodes[keep], counts[keep]
+    if nodes.size == 0:
+        return _EMPTY_INT, _EMPTY_INT
+    _, dests, split = multinomial_split(rng, indptr, indices, nodes, counts)
+    (unique_dests,), sums = group_sum(split, dests)
+    return unique_dests, sums
+
+
+def pair_meet_counts(rng: np.random.Generator, indptr: np.ndarray,
+                     indices: np.ndarray, in_degrees: np.ndarray,
+                     decay: float, first: np.ndarray, second: np.ndarray,
+                     counts: np.ndarray, *, max_steps: int,
+                     skip_steps: np.ndarray) -> np.ndarray:
+    """Aggregated pair-of-√c-walks meeting counts, one entry per origin.
+
+    Entry ``p`` simulates ``counts[p]`` independent pairs of √c-walks started
+    at ``(first[p], second[p])`` and reports how many of them meet (same node,
+    same step ≥ 1).  ``skip_steps[p]`` is the per-origin non-stop prefix of
+    Algorithm 3: during the first ``skip_steps[p]`` steps neither walk flips
+    the stopping coin, meetings inside the prefix disqualify the pair, and
+    only meetings strictly after the prefix are counted.
+
+    Pair states are ``(origin, u, v)`` triples with a multiplicity; identical
+    states collapse, so the per-step cost is bounded by the number of distinct
+    occupied pair states (never more than the number of live pairs).  A pair
+    whose meeting is still possible survives a post-prefix step with
+    probability ``c = (√c)²`` (both coins), and the two neighbour choices are
+    realised as two independent multinomial splits (first over ``u``'s
+    in-edges, then over ``v``'s).  Pairs where either walk reaches a dangling
+    node can never meet again and are dropped.
+    """
+    first = np.asarray(first, dtype=np.int64)
+    second = np.asarray(second, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    skip_steps = np.asarray(skip_steps, dtype=np.int64)
+    num_origins = first.shape[0]
+
+    met = np.zeros(num_origins, dtype=np.int64)
+    origin = np.arange(num_origins, dtype=np.int64)
+    u, v, m = first.copy(), second.copy(), counts.copy()
+    live = m > 0
+    origin, u, v, m = origin[live], u[live], v[live], m[live]
+
+    for step in range(1, max_steps + 1):
+        if m.size == 0:
+            break
+        # Survival: both coins at once (probability c) outside the prefix.
+        survivors = m.copy()
+        flipping = skip_steps[origin] < step
+        if flipping.any():
+            survivors[flipping] = rng.binomial(m[flipping], decay)
+        keep = (survivors > 0) & (in_degrees[u] > 0) & (in_degrees[v] > 0)
+        origin, u, v, m = origin[keep], u[keep], v[keep], survivors[keep]
+        if m.size == 0:
+            break
+        # Move the first walk of every pair, then the second.  No aggregation
+        # in between: splitting the counts of duplicate intermediate states
+        # separately is distributionally identical to splitting their sum
+        # (multinomial additivity), and the post-move regroup collapses both.
+        rows, dest_u, split = multinomial_split(rng, indptr, indices, u, m)
+        origin, v, u, m = origin[rows], v[rows], dest_u, split
+        rows, dest_v, split = multinomial_split(rng, indptr, indices, v, m)
+        origin, u, v, m = _regroup(split, origin[rows], u[rows], dest_v)
+        # Meetings: count post-prefix ones, drop prefix ones entirely.
+        same = u == v
+        if same.any():
+            met_origin = origin[same]
+            after = skip_steps[met_origin] < step
+            np.add.at(met, met_origin[after], m[same][after])
+            origin, u, v, m = origin[~same], u[~same], v[~same], m[~same]
+    return met
+
+
+def _regroup(split: np.ndarray, origin: np.ndarray, u: np.ndarray, v: np.ndarray
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregate split pair states back to unique ``(origin, u, v)`` triples."""
+    (v_keys, u_keys, origin_keys), sums = group_sum(split, v, u, origin)
+    return origin_keys, u_keys, v_keys, sums
+
+
+__all__ = [
+    "advance_frontier",
+    "group_sum",
+    "multinomial_split",
+    "pair_meet_counts",
+]

@@ -1,4 +1,4 @@
-"""The √c-walk engine.
+"""The √c-walk engine: compacted per-walk and count-aggregated simulation.
 
 A √c-walk (paper §2, "MC") is a random walk on the *reverse* edges of the
 graph: at each step it moves to a uniformly random in-neighbour with
@@ -8,62 +8,50 @@ independent √c-walks started from the two query nodes visit the same node at
 the same step (eq. 2), and the diagonal correction matrix is
 D(k, k) = 1 − Pr[two √c-walks from k meet at step ≥ 1].
 
-Pure-Python per-step loops are far too slow for the sample counts the paper
-needs (the ``repro_why`` note for this reproduction), so the engine advances
-*all walks of a batch simultaneously* with NumPy: one vectorised step costs a
-handful of array operations regardless of how many thousands of walkers are
-alive.
+Two mechanisms keep the simulation cost proportional to the *live* work
+instead of the batch width:
+
+* **Alive compaction** — the trajectory-recording paths
+  (:meth:`SqrtCWalkEngine.walks_from`, :meth:`~SqrtCWalkEngine.walks_from_nodes`)
+  keep an index array of walks that are still alive, advance only those, and
+  scatter positions back into the trajectory matrix.  Under the √c decay the
+  live set shrinks geometrically, so the total step cost is
+  O(Σ_t alive_t) ≈ O(num_walks / (1 − √c)) instead of
+  O(num_walks · max_steps).
+* **Count aggregation** — the observable-only paths (visit counts, pair
+  meetings) never need walk identities, so walks occupying the same state
+  collapse into ``(state, count)`` pairs advanced with binomial/multinomial
+  draws by the kernels in :mod:`repro.randomwalk.aggregate`.  The per-step
+  cost is bounded by the number of *distinct occupied states*, which makes
+  the single-source ``num_walks ≫ |reachable set|`` regimes of ExactSim's
+  phase 2 and the diagonal estimators orders of magnitude cheaper.
+
+The pre-compaction full-width engine survives as
+:class:`repro.randomwalk.reference.ReferenceWalkEngine` — the executable
+specification the statistical-equivalence tests pin this engine against.
+Seeded runs of this engine are deterministic (same seed ⇒ bit-identical
+results), but the RNG consumption pattern differs from the reference engine,
+so the two produce different (equally distributed) sample paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.randomwalk.aggregate import advance_frontier, group_sum, pair_meet_counts
+from repro.randomwalk.walkbatch import WalkBatch
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.validation import check_node_index, check_probability, check_positive_int
+from repro.utils.validation import check_node_index, check_positive_int, check_probability
 
-
-@dataclass
-class WalkBatch:
-    """Trajectories of a batch of √c-walks.
-
-    ``positions[t]`` holds the node index of every walk at step ``t`` and is
-    ``-1`` once the walk has stopped.  ``lengths[w]`` is the number of steps
-    walk ``w`` made before stopping (0 means it stopped immediately).
-    """
-
-    positions: np.ndarray          # shape (max_steps + 1, num_walks)
-    lengths: np.ndarray            # shape (num_walks,)
-
-    @property
-    def num_walks(self) -> int:
-        return int(self.positions.shape[1])
-
-    @property
-    def max_steps(self) -> int:
-        return int(self.positions.shape[0] - 1)
-
-    def nodes_at(self, step: int) -> np.ndarray:
-        """Node of every walk at ``step`` (−1 for stopped walks)."""
-        if step < 0 or step > self.max_steps:
-            raise ValueError(f"step {step} outside recorded range 0..{self.max_steps}")
-        return self.positions[step]
-
-    def visit_counts(self, num_nodes: int) -> np.ndarray:
-        """How many (walk, step) pairs visited each node (stopped steps excluded)."""
-        flat = self.positions[self.positions >= 0]
-        return np.bincount(flat, minlength=num_nodes)
-
-    def memory_bytes(self) -> int:
-        return int(self.positions.nbytes + self.lengths.nbytes)
+#: Per-step occupancy of an aggregated walk ensemble: (occupied nodes, counts).
+CountFrontier = Tuple[np.ndarray, np.ndarray]
 
 
 class SqrtCWalkEngine:
-    """Vectorised simulation of √c-walks on a :class:`DiGraph`.
+    """Compacted / count-aggregated simulation of √c-walks on a :class:`DiGraph`.
 
     Parameters
     ----------
@@ -86,52 +74,43 @@ class SqrtCWalkEngine:
         self._in_degrees = graph.in_degrees
 
     # ------------------------------------------------------------------ #
-    # single-step kernel
+    # compacted trajectory simulation
     # ------------------------------------------------------------------ #
-    def _advance(self, current: np.ndarray, survive: np.ndarray) -> np.ndarray:
-        """Advance live walks one step; returns the new positions (−1 = stopped).
+    def _record_walks(self, start: np.ndarray, max_steps: int) -> WalkBatch:
+        """Compacted simulation of one √c-walk per ``start`` entry.
 
-        ``current`` holds node ids with −1 marking already-stopped walks;
-        ``survive`` is a boolean array saying which walks won the √c coin flip
-        this step.
+        Only live walks flip coins and draw neighbours: ``alive`` holds the
+        original walk indices of the survivors and ``current`` their compacted
+        positions, so each step costs O(alive) array work.
         """
-        next_positions = np.full_like(current, -1)
-        alive = (current >= 0) & survive
-        if not alive.any():
-            return next_positions
-        nodes = current[alive]
-        degrees = self._in_degrees[nodes]
-        movable = degrees > 0
-        if movable.any():
-            mover_nodes = nodes[movable]
-            mover_degrees = degrees[movable]
-            offsets = (self.rng.random(mover_nodes.shape[0]) * mover_degrees).astype(np.int64)
-            destinations = self._indices[self.graph.in_indptr[mover_nodes] + offsets]
-            alive_idx = np.flatnonzero(alive)
-            next_positions[alive_idx[movable]] = destinations
-        return next_positions
+        num_walks = start.shape[0]
+        positions = np.full((max_steps + 1, num_walks), -1, dtype=np.int64)
+        positions[0] = start
+        lengths = np.zeros(num_walks, dtype=np.int64)
+        alive = np.arange(num_walks, dtype=np.int64)
+        current = start.copy()
+        for step in range(1, max_steps + 1):
+            if alive.size == 0:
+                break
+            survive = self.rng.random(alive.shape[0]) < self.sqrt_c
+            alive, current = alive[survive], current[survive]
+            movable = self._in_degrees[current] > 0
+            alive, current = alive[movable], current[movable]
+            if alive.size == 0:
+                break
+            degrees = self._in_degrees[current]
+            offsets = (self.rng.random(current.shape[0]) * degrees).astype(np.int64)
+            current = self._indices[self._indptr[current] + offsets]
+            positions[step, alive] = current
+            lengths[alive] = step
+        return WalkBatch(positions=positions, lengths=lengths)
 
-    # ------------------------------------------------------------------ #
-    # public simulation APIs
-    # ------------------------------------------------------------------ #
     def walks_from(self, node: int, num_walks: int, *, max_steps: int = 64) -> WalkBatch:
         """Simulate ``num_walks`` √c-walks from ``node`` recording full trajectories."""
         node = check_node_index(node, self.graph.num_nodes)
         num_walks = check_positive_int(num_walks, "num_walks")
         max_steps = check_positive_int(max_steps, "max_steps")
-
-        positions = np.full((max_steps + 1, num_walks), -1, dtype=np.int64)
-        positions[0] = node
-        lengths = np.zeros(num_walks, dtype=np.int64)
-        current = positions[0].copy()
-        for step in range(1, max_steps + 1):
-            if not (current >= 0).any():
-                break
-            survive = self.rng.random(num_walks) < self.sqrt_c
-            current = self._advance(current, survive)
-            positions[step] = current
-            lengths[current >= 0] = step
-        return WalkBatch(positions=positions, lengths=lengths)
+        return self._record_walks(np.full(num_walks, node, dtype=np.int64), max_steps)
 
     def walks_from_nodes(self, nodes: np.ndarray, *, max_steps: int = 64) -> WalkBatch:
         """Simulate one √c-walk per entry of ``nodes`` (entries may repeat)."""
@@ -140,90 +119,7 @@ class SqrtCWalkEngine:
             raise ValueError("nodes must be a one-dimensional array of start nodes")
         if start.size and (start.min() < 0 or start.max() >= self.graph.num_nodes):
             raise ValueError("start node out of range")
-        num_walks = start.shape[0]
-        positions = np.full((max_steps + 1, num_walks), -1, dtype=np.int64)
-        positions[0] = start
-        lengths = np.zeros(num_walks, dtype=np.int64)
-        current = start.copy()
-        for step in range(1, max_steps + 1):
-            if not (current >= 0).any():
-                break
-            survive = self.rng.random(num_walks) < self.sqrt_c
-            current = self._advance(current, survive)
-            positions[step] = current
-            lengths[current >= 0] = step
-        return WalkBatch(positions=positions, lengths=lengths)
-
-    def pair_walks_meet(self, node: int, num_pairs: int, *, max_steps: int = 64,
-                        skip_steps: int = 0) -> np.ndarray:
-        """Simulate ``num_pairs`` *pairs* of walks from ``node``; return a meet mask.
-
-        A pair "meets" if the two walks occupy the same node at the same step
-        ``t ≥ 1`` while both are still alive.  With ``skip_steps > 0`` the
-        walks do not flip the stopping coin during their first ``skip_steps``
-        steps (they stop only at dead ends) — this is the "non-stop prefix"
-        behaviour Algorithm 3 needs for estimating the tail
-        Σ_{ℓ>ℓ(k)} Z_ℓ(k).  In that mode a pair whose walks already met during
-        the prefix is excluded (its first meeting belongs to the
-        deterministically computed part), and only meetings strictly after the
-        prefix are reported.
-        """
-        node = check_node_index(node, self.graph.num_nodes)
-        num_pairs = check_positive_int(num_pairs, "num_pairs")
-
-        first = np.full(num_pairs, node, dtype=np.int64)
-        second = np.full(num_pairs, node, dtype=np.int64)
-        met = np.zeros(num_pairs, dtype=bool)
-        met_in_prefix = np.zeros(num_pairs, dtype=bool)
-        for step in range(1, max_steps + 1):
-            active = (first >= 0) & (second >= 0) & ~met
-            if not active.any():
-                break
-            if step <= skip_steps:
-                survive_first = np.ones(num_pairs, dtype=bool)
-                survive_second = np.ones(num_pairs, dtype=bool)
-            else:
-                survive_first = self.rng.random(num_pairs) < self.sqrt_c
-                survive_second = self.rng.random(num_pairs) < self.sqrt_c
-            first = self._advance(first, survive_first)
-            second = self._advance(second, survive_second)
-            same_node = (first >= 0) & (first == second)
-            if step <= skip_steps:
-                met_in_prefix |= same_node
-            else:
-                met |= same_node & ~met_in_prefix
-        return met
-
-    def pair_walks_meet_batch(self, start_nodes: np.ndarray, *,
-                              max_steps: int = 64) -> np.ndarray:
-        """Simulate one pair of √c-walks per entry of ``start_nodes``; return meet mask.
-
-        This is the batched form of :meth:`pair_walks_meet` used to estimate
-        many D(k, k) entries in a single vectorised pass: entry ``p`` starts
-        both walks of pair ``p`` at ``start_nodes[p]``, and the returned
-        boolean array says whether that pair met at some step ≥ 1.  All pairs
-        advance in lock-step, so the cost per step is a handful of NumPy
-        operations regardless of how many pairs are alive.
-        """
-        start = np.asarray(start_nodes, dtype=np.int64)
-        if start.ndim != 1:
-            raise ValueError("start_nodes must be one-dimensional")
-        if start.size and (start.min() < 0 or start.max() >= self.graph.num_nodes):
-            raise ValueError("start node out of range")
-        num_pairs = start.shape[0]
-        first = start.copy()
-        second = start.copy()
-        met = np.zeros(num_pairs, dtype=bool)
-        for _ in range(max_steps):
-            active = (first >= 0) & (second >= 0) & ~met
-            if not active.any():
-                break
-            survive_first = self.rng.random(num_pairs) < self.sqrt_c
-            survive_second = self.rng.random(num_pairs) < self.sqrt_c
-            first = self._advance(first, survive_first)
-            second = self._advance(second, survive_second)
-            met |= (first >= 0) & (first == second)
-        return met
+        return self._record_walks(start.copy(), max_steps)
 
     def terminal_nodes(self, node: int, num_walks: int, steps: int) -> np.ndarray:
         """Positions after exactly ``steps`` non-stopping moves (−1 at dead ends).
@@ -232,13 +128,58 @@ class SqrtCWalkEngine:
         prefix continue as fresh √c-walks from wherever they are.
         """
         node = check_node_index(node, self.graph.num_nodes)
+        finals = np.full(num_walks, -1, dtype=np.int64)
+        alive = np.arange(num_walks, dtype=np.int64)
         current = np.full(num_walks, node, dtype=np.int64)
-        always = np.ones(num_walks, dtype=bool)
         for _ in range(steps):
-            if not (current >= 0).any():
+            if alive.size == 0:
                 break
-            current = self._advance(current, always)
-        return current
+            movable = self._in_degrees[current] > 0
+            alive, current = alive[movable], current[movable]
+            if alive.size == 0:
+                break
+            degrees = self._in_degrees[current]
+            offsets = (self.rng.random(current.shape[0]) * degrees).astype(np.int64)
+            current = self._indices[self._indptr[current] + offsets]
+        finals[alive] = current
+        return finals
+
+    # ------------------------------------------------------------------ #
+    # count-aggregated ensemble simulation
+    # ------------------------------------------------------------------ #
+    def visit_count_steps(self, start_nodes: np.ndarray, start_counts: np.ndarray,
+                          *, max_steps: int = 64) -> List[CountFrontier]:
+        """Aggregated per-step occupancy of a pooled √c-walk ensemble.
+
+        ``start_counts[i]`` walks start at ``start_nodes[i]``; the returned
+        list holds one ``(nodes, counts)`` frontier per step ``0 … t_max``
+        (``counts`` sums to the number of walks still alive at that step; the
+        list stops early once every walk has died).  Walk identities are never
+        materialised, so the cost per step is bounded by the number of
+        distinct occupied nodes — the aggregation win for the
+        ``num_walks ≫ |reachable set|`` sampling regimes.
+        """
+        nodes = np.asarray(start_nodes, dtype=np.int64)
+        counts = np.asarray(start_counts, dtype=np.int64)
+        if nodes.shape != counts.shape or nodes.ndim != 1:
+            raise ValueError("start_nodes and start_counts must be matching 1-d arrays")
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.graph.num_nodes):
+            raise ValueError("start node out of range")
+        if np.any(counts < 0):
+            raise ValueError("start_counts must be non-negative")
+        live = counts > 0
+        (nodes,), counts = group_sum(counts[live], nodes[live])
+        levels: List[CountFrontier] = [(nodes, counts)]
+        for _ in range(max_steps):
+            if nodes.size == 0:
+                break
+            nodes, counts = advance_frontier(
+                self.rng, self._indptr, self._indices, self._in_degrees,
+                nodes, counts, self.sqrt_c)
+            if nodes.size == 0:
+                break
+            levels.append((nodes, counts))
+        return levels
 
     def estimate_visit_distribution(self, node: int, num_walks: int, *,
                                     max_steps: int = 16) -> np.ndarray:
@@ -246,17 +187,113 @@ class SqrtCWalkEngine:
 
         Row ``ℓ`` of the returned ``(max_steps + 1, n)`` array estimates
         Pr[the walk is alive at step ℓ and located at node k], i.e. the ℓ-hop
-        hitting-probability vector ``(√c P)^ℓ e_node``.  Used by the tests to
-        validate the PPR substrate against straight simulation.
+        hitting-probability vector ``(√c P)^ℓ e_node``.  Runs on the
+        count-aggregated frontier.
         """
-        batch = self.walks_from(node, num_walks, max_steps=max_steps)
+        node = check_node_index(node, self.graph.num_nodes)
+        num_walks = check_positive_int(num_walks, "num_walks")
+        levels = self.visit_count_steps(np.array([node], dtype=np.int64),
+                                        np.array([num_walks], dtype=np.int64),
+                                        max_steps=max_steps)
         histogram = np.zeros((max_steps + 1, self.graph.num_nodes), dtype=np.float64)
-        for step in range(max_steps + 1):
-            row = batch.positions[step]
-            nodes = row[row >= 0]
-            if nodes.size:
-                histogram[step] += np.bincount(nodes, minlength=self.graph.num_nodes)
+        for step, (nodes, counts) in enumerate(levels):
+            histogram[step, nodes] = counts
         return histogram / float(num_walks)
 
+    # ------------------------------------------------------------------ #
+    # aggregated pair meetings
+    # ------------------------------------------------------------------ #
+    def pair_meet_counts(self, start_nodes: np.ndarray, pair_counts: np.ndarray, *,
+                         max_steps: int = 64,
+                         skip_steps: Union[int, np.ndarray] = 0) -> np.ndarray:
+        """How many of ``pair_counts[p]`` walk pairs from ``start_nodes[p]`` meet.
 
-__all__ = ["SqrtCWalkEngine", "WalkBatch"]
+        Both walks of every pair start at the origin's node; entry ``p`` of
+        the result counts the pairs that meet at some step ≥ 1 (strictly
+        after the per-origin non-stop prefix when ``skip_steps`` is set —
+        pairs meeting inside the prefix are disqualified, matching the
+        Algorithm 3 tail-estimator semantics).  One aggregated simulation
+        serves all origins at once.
+        """
+        starts = np.asarray(start_nodes, dtype=np.int64)
+        return self.pair_meet_counts_from(starts, starts, pair_counts,
+                                          max_steps=max_steps, skip_steps=skip_steps)
+
+    def pair_meet_counts_from(self, first_nodes: np.ndarray, second_nodes: np.ndarray,
+                              pair_counts: np.ndarray, *, max_steps: int = 64,
+                              skip_steps: Union[int, np.ndarray] = 0) -> np.ndarray:
+        """General form of :meth:`pair_meet_counts` with distinct start pairs.
+
+        Entry ``p`` simulates ``pair_counts[p]`` pairs with the first walk
+        from ``first_nodes[p]`` and the second from ``second_nodes[p]`` — the
+        eq. (2) estimator for S(i, j) uses one ``(i, j)`` origin.
+        """
+        first = np.asarray(first_nodes, dtype=np.int64)
+        second = np.asarray(second_nodes, dtype=np.int64)
+        counts = np.asarray(pair_counts, dtype=np.int64)
+        if not (first.shape == second.shape == counts.shape) or first.ndim != 1:
+            raise ValueError("start and count arrays must be matching 1-d arrays")
+        for arr in (first, second):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.graph.num_nodes):
+                raise ValueError("start node out of range")
+        if np.any(counts < 0):
+            raise ValueError("pair_counts must be non-negative")
+        skip = np.broadcast_to(np.asarray(skip_steps, dtype=np.int64), first.shape)
+        if np.any(skip < 0):
+            raise ValueError("skip_steps must be non-negative")
+        return pair_meet_counts(self.rng, self._indptr, self._indices,
+                                self._in_degrees, self.decay, first, second,
+                                counts, max_steps=max_steps,
+                                skip_steps=np.ascontiguousarray(skip))
+
+    # ------------------------------------------------------------------ #
+    # mask-shaped compatibility wrappers
+    # ------------------------------------------------------------------ #
+    def pair_walks_meet(self, node: int, num_pairs: int, *, max_steps: int = 64,
+                        skip_steps: int = 0) -> np.ndarray:
+        """Boolean meet mask over ``num_pairs`` pairs of walks from ``node``.
+
+        Backed by the aggregated :meth:`pair_meet_counts`; pairs are
+        exchangeable, so the mask's only meaningful statistic is its sum — the
+        first ``met`` entries are set.  Prefer :meth:`pair_meet_counts` in new
+        code.
+        """
+        node = check_node_index(node, self.graph.num_nodes)
+        num_pairs = check_positive_int(num_pairs, "num_pairs")
+        met = int(self.pair_meet_counts(
+            np.array([node], dtype=np.int64), np.array([num_pairs], dtype=np.int64),
+            max_steps=max_steps, skip_steps=skip_steps)[0])
+        mask = np.zeros(num_pairs, dtype=bool)
+        mask[:met] = True
+        return mask
+
+    def pair_walks_meet_batch(self, start_nodes: np.ndarray, *,
+                              max_steps: int = 64) -> np.ndarray:
+        """Meet mask for one pair of √c-walks per entry of ``start_nodes``.
+
+        Duplicated start entries collapse into one origin with a pair count
+        before simulation (pairs from the same node are exchangeable), so the
+        cost matches one aggregated :meth:`pair_meet_counts` call over the
+        unique start nodes; the per-origin meet counts are then scattered
+        back onto the first entries of each group.  Prefer
+        :meth:`pair_meet_counts` in new code.
+        """
+        start = np.asarray(start_nodes, dtype=np.int64)
+        if start.ndim != 1:
+            raise ValueError("start_nodes must be one-dimensional")
+        if start.size == 0:
+            return np.zeros(0, dtype=bool)
+        if start.min() < 0 or start.max() >= self.graph.num_nodes:
+            raise ValueError("start node out of range")
+        unique, inverse = np.unique(start, return_inverse=True)
+        totals = np.bincount(inverse, minlength=unique.shape[0]).astype(np.int64)
+        met_counts = self.pair_meet_counts(unique, totals, max_steps=max_steps)
+        order = np.argsort(inverse, kind="stable")
+        group_offsets = np.concatenate(([0], np.cumsum(totals)[:-1]))
+        ranks = np.arange(start.shape[0], dtype=np.int64) - group_offsets[inverse[order]]
+        mask = np.zeros(start.shape[0], dtype=bool)
+        mask[order[ranks < met_counts[inverse[order]]]] = True
+        return mask
+
+
+__all__ = ["CountFrontier", "SqrtCWalkEngine", "WalkBatch"]

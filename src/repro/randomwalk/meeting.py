@@ -10,6 +10,10 @@ These implement the sampling primitives of the paper:
   improved Algorithm 3: walks run a non-stop prefix of ``skip_steps`` steps,
   then behave as fresh √c-walks; the fraction of pairs that meet *after* the
   prefix, multiplied by ``c^skip_steps``, estimates Σ_{ℓ>ℓ(k)} Z_ℓ(k).
+
+All three ride the count-aggregated pair kernel: one engine call simulates
+the whole pair budget with per-state binomial/multinomial draws, so the cost
+is bounded by the distinct occupied pair states instead of the pair count.
 """
 
 from __future__ import annotations
@@ -41,19 +45,10 @@ def estimate_meeting_probability(graph: DiGraph, source: int, target: int,
         return 1.0
 
     engine = SqrtCWalkEngine(graph, decay, seed=seed)
-    first = np.full(num_pairs, source, dtype=np.int64)
-    second = np.full(num_pairs, target, dtype=np.int64)
-    met = np.zeros(num_pairs, dtype=bool)
-    for _ in range(max_steps):
-        active = (first >= 0) & (second >= 0) & ~met
-        if not active.any():
-            break
-        survive_first = engine.rng.random(num_pairs) < engine.sqrt_c
-        survive_second = engine.rng.random(num_pairs) < engine.sqrt_c
-        first = engine._advance(first, survive_first)
-        second = engine._advance(second, survive_second)
-        met |= (first >= 0) & (first == second)
-    return float(met.mean())
+    met = engine.pair_meet_counts_from(
+        np.array([source], dtype=np.int64), np.array([target], dtype=np.int64),
+        np.array([num_pairs], dtype=np.int64), max_steps=max_steps)
+    return float(met[0]) / float(num_pairs)
 
 
 def estimate_diagonal_entry(graph: DiGraph, node: int, num_pairs: int, *,
@@ -76,8 +71,10 @@ def estimate_diagonal_entry(graph: DiGraph, node: int, num_pairs: int, *,
         return 1.0 - decay
     num_pairs = check_positive_int(num_pairs, "num_pairs")
     walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
-    met = walker.pair_walks_meet(node, num_pairs, max_steps=max_steps)
-    return float(1.0 - met.mean())
+    met = walker.pair_meet_counts(np.array([node], dtype=np.int64),
+                                  np.array([num_pairs], dtype=np.int64),
+                                  max_steps=max_steps)
+    return 1.0 - float(met[0]) / float(num_pairs)
 
 
 def estimate_tail_meeting_probability(graph: DiGraph, node: int, num_pairs: int,
@@ -97,9 +94,10 @@ def estimate_tail_meeting_probability(graph: DiGraph, node: int, num_pairs: int,
     if skip_steps < 0:
         raise ValueError("skip_steps must be non-negative")
     walker = engine if engine is not None else SqrtCWalkEngine(graph, decay, seed=seed)
-    met = walker.pair_walks_meet(node, num_pairs, max_steps=max_steps,
-                                 skip_steps=skip_steps)
-    return float((decay ** skip_steps) * met.mean())
+    met = walker.pair_meet_counts(np.array([node], dtype=np.int64),
+                                  np.array([num_pairs], dtype=np.int64),
+                                  max_steps=max_steps, skip_steps=skip_steps)
+    return float(decay ** skip_steps) * float(met[0]) / float(num_pairs)
 
 
 __all__ = [

@@ -1,0 +1,45 @@
+"""Trajectory container shared by the production and reference walk engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class WalkBatch:
+    """Trajectories of a batch of √c-walks.
+
+    ``positions[t]`` holds the node index of every walk at step ``t`` and is
+    ``-1`` once the walk has stopped.  ``lengths[w]`` is the number of steps
+    walk ``w`` made before stopping (0 means it stopped immediately).
+    """
+
+    positions: np.ndarray          # shape (max_steps + 1, num_walks)
+    lengths: np.ndarray            # shape (num_walks,)
+
+    @property
+    def num_walks(self) -> int:
+        return int(self.positions.shape[1])
+
+    @property
+    def max_steps(self) -> int:
+        return int(self.positions.shape[0] - 1)
+
+    def nodes_at(self, step: int) -> np.ndarray:
+        """Node of every walk at ``step`` (−1 for stopped walks)."""
+        if step < 0 or step > self.max_steps:
+            raise ValueError(f"step {step} outside recorded range 0..{self.max_steps}")
+        return self.positions[step]
+
+    def visit_counts(self, num_nodes: int) -> np.ndarray:
+        """How many (walk, step) pairs visited each node (stopped steps excluded)."""
+        flat = self.positions[self.positions >= 0]
+        return np.bincount(flat, minlength=num_nodes)
+
+    def memory_bytes(self) -> int:
+        return int(self.positions.nbytes + self.lengths.nbytes)
+
+
+__all__ = ["WalkBatch"]

@@ -219,7 +219,7 @@ class TestProbeSimBatchedProbes:
         for level in (0, 1, 3):
             batched = np.zeros(num_nodes, dtype=np.float64)
             algorithm._accumulate_probe_batch(batched, meeting_nodes, level,
-                                              counts, scale)
+                                              counts[meeting_nodes], scale)
             sequential = np.zeros(num_nodes, dtype=np.float64)
             for node in meeting_nodes:
                 probe = algorithm._probe(int(node), level)
@@ -232,6 +232,5 @@ class TestProbeSimBatchedProbes:
         algorithm = ProbeSim(collab_graph, decay=DECAY, num_walks=10, seed=1)
         scores = np.zeros(collab_graph.num_nodes)
         algorithm._accumulate_probe_batch(scores, np.empty(0, dtype=np.int64), 2,
-                                          np.zeros(collab_graph.num_nodes,
-                                                   dtype=np.int64), 1.0)
+                                          np.empty(0, dtype=np.int64), 1.0)
         assert not scores.any()

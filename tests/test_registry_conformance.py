@@ -45,10 +45,13 @@ CONFIGS = {
 #: Max |batch − looped| per entry.  0.0 ⇒ bit-identical.  On graphs up to
 #: ``ExactSim._DENSE_BATCH_MAX_NODES`` (the conformance graph qualifies) the
 #: vectorized ExactSim batch runs the dense matmul phase 1 whose columns are
-#: bit-identical to the sequential recursion, so even ExactSim is exact here;
-#: the push-kernel path above that size is tolerance-tested in
+#: bit-identical to the sequential recursion, but phase 2 samples the whole
+#: batch through one count-aggregated engine call whose RNG schedule differs
+#: from the per-source loop, so the batch agrees with the loop only within
+#: the ε accuracy guarantee (2ε: both sides are ε-accurate).  The push-kernel
+#: path above the dense-batch size is tolerance-tested in
 #: tests/test_exactsim.py.
-BATCH_TOLERANCE = {}
+BATCH_TOLERANCE = {"exactsim": 1e-1, "exactsim-basic": 1e-1}
 
 ALL_METHODS = sorted(CONFIGS)
 
