@@ -18,17 +18,28 @@ The ``epsilon`` knob drives the index truncation threshold, the on-the-fly
 threshold and the per-hub D samples, reproducing the preprocessing-time /
 index-size / accuracy trade-off of Figures 3, 4, 7 and 8.
 
-Both propagation paths run on the vectorized CSR frontier kernels: each hub
-index column is one sparse frontier walk in the ``Pᵀ`` direction
-(:func:`repro.kernels.propagate_transpose`), and the query-time on-the-fly
-probes of *all* candidate meeting nodes at a level are pushed simultaneously
-through shared CSR slices by the batched kernel
+Index construction is batched: *all* hubs' reverse hop vectors advance
+level-synchronously through the dense lane engine
+(:class:`repro.kernels.DenseLanePropagation`) — one ``Pᵀ``-times-dense
+product per level for the whole hub set (exact hub frontiers saturate
+toward the reachable set within a few levels, exactly the regime where the
+dense product beats any frontier-proportional scatter), with the per-level
+snapshot pruning applied as a single mask over the stacked state.  The
+per-hub sequential walk survives as :meth:`PRSim._reverse_hop_vectors`
+(the executable spec ``tests/test_multiprop.py`` pins the batched build
+against: identical supports, values ≤ 1e-12).
+The index itself lives as flat COO triplets ``(hub position, level, column,
+value)`` sorted by (position, level, column): queries accumulate the whole
+hub contribution with one weighted ``np.bincount`` over the flat arrays, and
+persistence is a direct array round trip (no per-hub/per-level loops).
+At query time the on-the-fly probes of *all* candidate meeting nodes of a
+level are likewise pushed simultaneously through shared CSR slices
 (:func:`repro.kernels.propagate_batch_transpose`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -38,6 +49,7 @@ from repro.core.result import SingleSourceResult
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.kernels.frontier import propagate_batch_transpose, propagate_transpose
+from repro.kernels.multiprop import DenseLanePropagation
 from repro.kernels.sparsevec import SparseVector
 from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.ppr.pagerank import pagerank
@@ -45,6 +57,15 @@ from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Timer
 from repro.utils.validation import check_node_index, check_probability
+
+#: The flat hub index: (positions, levels, columns, values) sorted by
+#: (position, level, column).  ``positions`` indexes into the hub array.
+HubIndex = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+_EMPTY_INDEX: HubIndex = (np.empty(0, dtype=np.int64),
+                          np.empty(0, dtype=np.int64),
+                          np.empty(0, dtype=np.int64),
+                          np.empty(0, dtype=np.float64))
 
 
 class PRSim(SimRankAlgorithm):
@@ -63,7 +84,7 @@ class PRSim(SimRankAlgorithm):
         self._operator = self.context.operator(decay)
         self._engine = SqrtCWalkEngine(graph, decay, seed=seed)
         self._hubs: Optional[np.ndarray] = None
-        self._hub_index: Dict[int, List[sparse.csr_matrix]] = {}
+        self._hub_flat: HubIndex = _EMPTY_INDEX
         self._diagonal: Optional[np.ndarray] = None
 
     def num_iterations(self) -> int:
@@ -80,6 +101,9 @@ class PRSim(SimRankAlgorithm):
         frontier walk from ``node`` yields the whole column of the index.
         The frontier itself is propagated exactly (only the stored snapshots
         are pruned, as in the seed's dense implementation).
+
+        This is the sequential executable spec; production index builds run
+        all hubs at once through :meth:`_build_hub_vectors`.
         """
         sqrt_c = self._operator.sqrt_c
         num_nodes = self.graph.num_nodes
@@ -99,31 +123,101 @@ class PRSim(SimRankAlgorithm):
             frontier = frontier.scaled(sqrt_c)
         return vectors
 
+    #: Cap on the dense lane state of one build chunk (bytes); 64 MB keeps
+    #: the per-chunk (num_nodes × lanes) matrix cache- and RAM-friendly.
+    _DENSE_LANE_BYTES = 64 << 20
+
+    def _build_hub_vectors(self, hubs: np.ndarray, iterations: int,
+                           threshold: float) -> HubIndex:
+        """All hubs' truncated reverse hop vectors, level-synchronously.
+
+        The exact (unpruned) hub walks saturate toward the reachable set
+        within a few levels, which is precisely the regime where the dense
+        lane engine wins: one :class:`DenseLanePropagation` carries a chunk
+        of hubs and advances all of them with a single ``Pᵀ``-times-dense
+        product per level, with the per-level snapshot pruning applied as
+        one mask over the whole chunk.  Supports match the sequential
+        :meth:`_reverse_hop_vectors` exactly and values to ≤1e-12 (the
+        matrix product orders the float additions differently); the
+        equivalence suite pins both.
+        """
+        sqrt_c = self._operator.sqrt_c
+        chunk_lanes = max(1, self._DENSE_LANE_BYTES // (8 * max(self.graph.num_nodes, 1)))
+        position_parts: List[np.ndarray] = []
+        level_parts: List[np.ndarray] = []
+        col_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        for chunk_start in range(0, hubs.shape[0], chunk_lanes):
+            chunk = hubs[chunk_start:chunk_start + chunk_lanes]
+            engine = DenseLanePropagation.adjoint(self.graph, chunk.shape[0],
+                                                  self._operator)
+            engine.seed_units(chunk.astype(np.int64, copy=False))
+            thresholds = np.full(chunk.shape[0], threshold, dtype=np.float64)
+            for level in range(iterations + 1):
+                rows, cols, vals = engine.snapshot(scale=1.0 - sqrt_c,
+                                                   thresholds=thresholds)
+                position_parts.append(rows + chunk_start)
+                level_parts.append(np.full(rows.shape[0], level, dtype=np.int64))
+                col_parts.append(cols)
+                val_parts.append(vals)
+                if level == iterations:
+                    break
+                engine.step(scale=sqrt_c)
+        positions = np.concatenate(position_parts)
+        levels = np.concatenate(level_parts)
+        cols = np.concatenate(col_parts)
+        vals = np.concatenate(val_parts)
+        # Canonical (position, level, column) order: queries and persistence
+        # both read the flat arrays in this order.
+        order = np.lexsort((cols, levels, positions))
+        return positions[order], levels[order], cols[order], vals[order]
+
+    def _build_hub_vectors_reference(self, hubs: np.ndarray, iterations: int,
+                                     threshold: float) -> HubIndex:
+        """Sequential per-hub build flattened to the canonical flat layout.
+
+        The loop the batched build replaces; kept for the equivalence tests
+        and the index-build benchmark.
+        """
+        position_parts: List[np.ndarray] = []
+        level_parts: List[np.ndarray] = []
+        col_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        for position, hub in enumerate(hubs.tolist()):
+            for level, vector in enumerate(
+                    self._reverse_hop_vectors(int(hub), iterations, threshold)):
+                nnz = vector.nnz
+                position_parts.append(np.full(nnz, position, dtype=np.int64))
+                level_parts.append(np.full(nnz, level, dtype=np.int64))
+                col_parts.append(vector.indices.astype(np.int64))
+                val_parts.append(vector.data.astype(np.float64))
+        concat = (lambda parts, dtype: np.concatenate(parts)
+                  if parts else np.empty(0, dtype=dtype))
+        return (concat(position_parts, np.int64), concat(level_parts, np.int64),
+                concat(col_parts, np.int64), concat(val_parts, np.float64))
+
     def _build_index(self) -> None:
         num_nodes = self.graph.num_nodes
         iterations = self.num_iterations()
         rank = pagerank(self.graph)
         num_hubs = max(1, int(np.ceil(self.hub_fraction * num_nodes)))
-        hubs = np.argsort(-rank)[:num_hubs]
+        hubs = np.argsort(-rank)[:num_hubs].astype(np.int64)
         threshold = (1.0 - self._operator.sqrt_c) ** 2 * self.epsilon
 
         diagonal = np.full(num_nodes, 1.0 - self.decay, dtype=np.float64)
         diagonal[self.graph.in_degrees == 0] = 1.0
         samples = max(16, min(int(np.ceil(1.0 / self.epsilon)), 5_000))
-        hub_index: Dict[int, List[sparse.csr_matrix]] = {}
-        for hub in hubs:
-            hub = int(hub)
-            hub_index[hub] = self._reverse_hop_vectors(hub, iterations, threshold)
+        hub_flat = self._build_hub_vectors(hubs, iterations, threshold)
         # All hubs' D(k, k) estimates ride one count-aggregated engine call:
         # every hub is an origin carrying the full per-hub pair budget, so the
         # MC cost no longer scales with the hub count times the sample count.
-        sampled = hubs[self.graph.in_degrees[hubs] > 1].astype(np.int64)
+        sampled = hubs[self.graph.in_degrees[hubs] > 1]
         if sampled.size:
             met = self._engine.pair_meet_counts(
                 sampled, np.full(sampled.shape[0], samples, dtype=np.int64))
             diagonal[sampled] = 1.0 - met / float(samples)
-        self._hubs = hubs.astype(np.int64)
-        self._hub_index = hub_index
+        self._hubs = hubs
+        self._hub_flat = hub_flat
         self._diagonal = diagonal
 
     # ------------------------------------------------------------------ #
@@ -131,28 +225,16 @@ class PRSim(SimRankAlgorithm):
     # ------------------------------------------------------------------ #
     def _index_payload(self) -> Dict[str, np.ndarray]:
         assert self._hubs is not None and self._diagonal is not None
-        positions: List[np.ndarray] = []
-        levels: List[np.ndarray] = []
-        cols: List[np.ndarray] = []
-        vals: List[np.ndarray] = []
-        for position, hub in enumerate(self._hubs):
-            for level, vector in enumerate(self._hub_index[int(hub)]):
-                nnz = vector.nnz
-                positions.append(np.full(nnz, position, dtype=np.int64))
-                levels.append(np.full(nnz, level, dtype=np.int64))
-                cols.append(vector.indices.astype(np.int64))
-                vals.append(vector.data.astype(np.float64))
-        concat = (lambda parts, dtype: np.concatenate(parts)
-                  if parts else np.empty(0, dtype=dtype))
+        positions, levels, cols, vals = self._hub_flat
         return {
             "hubs": self._hubs,
             "diagonal": self._diagonal,
             "epsilon": np.float64(self.epsilon),
             "hub_fraction": np.float64(self.hub_fraction),
-            "hub_positions": concat(positions, np.int64),
-            "hub_levels": concat(levels, np.int64),
-            "hub_cols": concat(cols, np.int64),
-            "hub_vals": concat(vals, np.float64),
+            "hub_positions": positions,
+            "hub_levels": levels,
+            "hub_cols": cols,
+            "hub_vals": vals,
         }
 
     def _restore_index(self, payload: Mapping[str, np.ndarray]) -> None:
@@ -171,23 +253,23 @@ class PRSim(SimRankAlgorithm):
         levels = np.asarray(payload["hub_levels"], dtype=np.int64)
         cols = np.asarray(payload["hub_cols"], dtype=np.int64)
         vals = np.asarray(payload["hub_vals"], dtype=np.float64)
+        if not (positions.shape == levels.shape == cols.shape == vals.shape):
+            raise IndexPersistenceError("hub index arrays have mismatched shapes")
+        if positions.size and (positions.min() < 0
+                               or positions.max() >= hubs.shape[0]):
+            raise IndexPersistenceError("hub index references unknown hub positions")
+        if levels.size and (levels.min() < 0 or levels.max() > iterations):
+            raise IndexPersistenceError(
+                "hub index references levels beyond the ε iteration depth")
+        if cols.size and (cols.min() < 0 or cols.max() >= num_nodes):
+            raise IndexPersistenceError("hub index references unknown nodes")
+        # Re-canonicalise: a stable lexsort leaves a canonical payload (the
+        # only kind save_index writes) bit-identical, and repairs any
+        # externally produced ordering.
         order = np.lexsort((cols, levels, positions))
-        positions, levels = positions[order], levels[order]
-        cols, vals = cols[order], vals[order]
-
-        hub_index: Dict[int, List[sparse.csr_matrix]] = {}
-        keys = positions * np.int64(iterations + 1) + levels
-        for position, hub in enumerate(hubs):
-            vectors: List[sparse.csr_matrix] = []
-            for level in range(iterations + 1):
-                lo = int(np.searchsorted(keys, position * (iterations + 1) + level))
-                hi = int(np.searchsorted(keys, position * (iterations + 1) + level + 1))
-                vectors.append(sparse.csr_matrix(
-                    (vals[lo:hi], (np.zeros(hi - lo, dtype=np.int64), cols[lo:hi])),
-                    shape=(1, num_nodes)))
-            hub_index[int(hub)] = vectors
         self._hubs = hubs
-        self._hub_index = hub_index
+        self._hub_flat = (positions[order], levels[order],
+                          cols[order], vals[order])
         self._diagonal = diagonal
 
     # ------------------------------------------------------------------ #
@@ -208,15 +290,19 @@ class PRSim(SimRankAlgorithm):
 
             is_hub = np.zeros(num_nodes, dtype=bool)
             is_hub[self._hubs] = True
-            # Hub contribution straight from the index.
-            for hub, vectors in self._hub_index.items():
-                weight = self._diagonal[hub]
-                for level, reverse_vector in enumerate(vectors):
-                    source_mass = hop_ppr.hop_dense(level)[hub]
-                    if source_mass <= 0.0:
-                        continue
-                    scores += scale * weight * source_mass * \
-                        np.asarray(reverse_vector.todense()).ravel()
+            # Hub contribution in one batched pass over the flat COO index:
+            # every stored entry's weight is scale·D(hub)·π_source^level(hub),
+            # gathered per (position, level) and scatter-added per column.
+            positions, levels, cols, vals = self._hub_flat
+            if cols.size:
+                hub_mass = np.empty((self._hubs.shape[0], iterations + 1),
+                                    dtype=np.float64)
+                for level in range(iterations + 1):
+                    hub_mass[:, level] = hop_ppr.hop_dense(level)[self._hubs]
+                entry_weights = (scale * self._diagonal[self._hubs])[positions] \
+                    * hub_mass[positions, levels]
+                scores += np.bincount(cols, weights=vals * entry_weights,
+                                      minlength=num_nodes)
 
             # Non-hub contribution: on-the-fly reverse propagation at a coarser
             # threshold, restricted to nodes the source actually reaches.  All
@@ -272,9 +358,10 @@ class PRSim(SimRankAlgorithm):
 
     def index_bytes(self) -> int:
         total = int(self._diagonal.nbytes) if self._diagonal is not None else 0
-        for vectors in self._hub_index.values():
-            for vector in vectors:
-                total += int(vector.data.nbytes + vector.indices.nbytes + vector.indptr.nbytes)
+        if self._hubs is not None:
+            total += int(self._hubs.nbytes)
+        for array in self._hub_flat:
+            total += int(array.nbytes)
         return total
 
 

@@ -17,6 +17,11 @@ Layout:
 * :mod:`repro.kernels.frontier` — the kernels themselves
   (:func:`push_frontier`, :func:`propagate_distribution`,
   :func:`propagate_batch`);
+* :mod:`repro.kernels.multiprop` — the level-synchronous
+  :class:`MultiPropagation` engine: B independent propagations carried as
+  one stacked COO state, advanced per level through shared CSR slices with
+  per-lane thresholds, early termination and edge accounting (the substrate
+  of the batched index builds and the interleaved Algorithm 3 recursions);
 * :mod:`repro.kernels.reference` — the original dict-based loops, kept as
   executable specifications for the equivalence test suite.
 """
@@ -32,12 +37,17 @@ from repro.kernels.frontier import (
     push_frontier,
     push_frontier_batch,
 )
+from repro.kernels.multiprop import (DenseLanePropagation, MultiPropagation,
+                                     dense_lane_limit)
 from repro.kernels.sparsevec import SparseVector
 
 __all__ = [
     "BatchPushLevel",
+    "DenseLanePropagation",
+    "MultiPropagation",
     "PushLevel",
     "SparseVector",
+    "dense_lane_limit",
     "csr_gather",
     "propagate_batch",
     "propagate_batch_transpose",

@@ -1,0 +1,438 @@
+"""Level-synchronous multi-source propagation engine.
+
+A :class:`MultiPropagation` carries B independent sparse propagations —
+*lanes* — as one stacked COO triplet ``(lane, node, value)`` and advances any
+subset of them one level at a time with a single shared-CSR scatter per
+level: the frontiers of every advancing lane are concatenated, their CSR
+slices gathered with one ``np.repeat`` pass, and the contributions
+re-aggregated per ``(lane, node)`` key — exactly the batched kernels of
+:mod:`repro.kernels.frontier`, plus the state-keeping the batch-of-queries
+call sites need:
+
+* **both directions** — forward (the reverse-walk step ``P`` of
+  :func:`~repro.kernels.frontier.propagate_distribution`) and transpose (the
+  adjoint ``Pᵀ`` of :func:`~repro.kernels.frontier.propagate_transpose`);
+* **per-lane thresholds** — a post-step boolean mask per lane, the Lemma 2
+  truncation each propagation applies at its own level;
+* **per-lane early termination** — lanes advance only while selected by the
+  caller's ``active`` mask; dormant lanes keep their frontier untouched, so
+  heterogeneous target depths interleave over shared levels;
+* **per-lane work accounting** — every step reports the CSR entries gathered
+  per lane, so each caller keeps its own edge-budget window (the Algorithm 3
+  cost counter E_k stays per-node even when a thousand nodes share levels).
+
+The per-lane arithmetic is bit-identical to the single-lane kernels: within
+one lane the frontier entries stay sorted by node, the shared gather visits
+them in the same order as a single-frontier gather, and the scatter-add sums
+each ``(lane, node)`` key's contributions in the same occurrence order as the
+single-lane scatter — so interleaving B propagations changes *no* float.
+``tests/test_multiprop.py`` pins this lane-for-lane against the sequential
+kernels.
+
+Two storage regimes, chosen by the caller per workload:
+
+* **stacked COO** (default) — cost proportional to the stacked frontier
+  size; the right regime for sparse frontiers and the only one with the
+  bit-identity guarantee above.
+* **dense lanes** (``dense=True``) — state held as one (num_nodes × L)
+  matrix advanced by a single ``scipy`` CSR-times-dense product per level
+  (one C pass over the operator for *all* lanes).  When frontiers saturate
+  — every lane's support approaching the reachable set, the regime of
+  PRSim's exact hub walks — the stacked gather degenerates to a
+  cache-hostile E·L scatter and loses to this path by ~5×; conversely the
+  dense path always pays O(num_nodes · L) per level, so it loses when
+  frontiers stay narrow.  Dense-lane values agree with the sequential
+  kernels only to ~1e-15 per level (multiply-then-add versus
+  sum-then-divide), with identical supports — callers that need exact
+  bit-equality (the Algorithm 3 budget accounting) must stay on the COO
+  regime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.kernels.frontier import (_DENSE_SCATTER_CAP, propagate_batch,
+                                    propagate_batch_transpose,
+                                    propagate_distribution,
+                                    propagate_transpose)
+from repro.kernels.sparsevec import SparseVector
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+def dense_lane_limit(num_nodes: int) -> int:
+    """Lanes one engine can carry with the dense scatter-add still applicable.
+
+    The batched kernels key contributions by ``lane · num_nodes + node``;
+    once that key space outgrows the kernels' dense ``np.bincount`` cap they
+    fall back to a sort-based reduction whose O(E log E) cost loses badly to
+    per-lane dense scatters when lanes are wide.  Callers batching *many*
+    lanes (hub index builds, cache prefetches) should split them into chunks
+    of this size — lanes are independent, so chunking changes no result.
+    """
+    return max(1, _DENSE_SCATTER_CAP // max(num_nodes, 1))
+
+
+class MultiPropagation:
+    """B independent sparse propagations advanced level-synchronously.
+
+    Parameters
+    ----------
+    indptr, indices:
+        The CSR structure each step expands along — the *in*-adjacency for
+        forward (reverse-walk) steps, the *out*-adjacency for transpose
+        steps.  Use :meth:`forward` / :meth:`transpose` to pick them off a
+        :class:`~repro.graph.digraph.DiGraph`.
+    num_lanes:
+        Number of independent propagations carried.
+    transpose:
+        When true, steps apply the adjoint operator ``Pᵀ`` (contributions
+        normalized by the receiver's in-degree, which must be supplied).
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *,
+                 num_nodes: int, num_lanes: int, transpose: bool = False,
+                 in_degrees: Optional[np.ndarray] = None):
+        if transpose and in_degrees is None:
+            raise ValueError("transpose propagation needs the in-degree vector")
+        if num_lanes <= 0:
+            raise ValueError("num_lanes must be positive")
+        self._indptr = indptr
+        self._indices = indices
+        self._in_degrees = in_degrees
+        self.num_nodes = int(num_nodes)
+        self.num_lanes = int(num_lanes)
+        self.transpose = bool(transpose)
+        self._rows = _EMPTY_I
+        self._cols = _EMPTY_I
+        self._vals = _EMPTY_F
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def forward(cls, graph: DiGraph, num_lanes: int) -> "MultiPropagation":
+        """Reverse-walk direction (``P``): mass spreads to in-neighbours."""
+        return cls(graph.in_indptr, graph.in_indices, num_nodes=graph.num_nodes,
+                   num_lanes=num_lanes)
+
+    @classmethod
+    def adjoint(cls, graph: DiGraph, num_lanes: int) -> "MultiPropagation":
+        """Transpose direction (``Pᵀ``): the PRSim/ProbeSim probe operator."""
+        return cls(graph.out_indptr, graph.out_indices, num_nodes=graph.num_nodes,
+                   num_lanes=num_lanes, transpose=True,
+                   in_degrees=graph.in_degrees)
+
+    def seed(self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray, *,
+             assume_sorted: bool = False) -> None:
+        """Replace the stacked state with the given COO triplet.
+
+        Entries are re-sorted by ``(lane, node)`` unless the caller vouches
+        for the order with ``assume_sorted`` (lane-major, node-ascending —
+        the layout lane-wise concatenation of sorted frontiers produces);
+        duplicate keys are not merged (kernels never produce them, and seeds
+        come from sorted frontiers), so callers must not pass duplicates.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (rows.shape == cols.shape == values.shape) or rows.ndim != 1:
+            raise ValueError("rows, cols and values must be matching 1-d arrays")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_lanes):
+            raise ValueError("lane id out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.num_nodes):
+            raise ValueError("node id out of range")
+        if not assume_sorted:
+            order = np.argsort(rows * np.int64(self.num_nodes) + cols,
+                               kind="stable")
+            rows, cols, values = rows[order], cols[order], values[order]
+        self._rows, self._cols, self._vals = rows, cols, values
+
+    def seed_units(self, nodes: np.ndarray) -> None:
+        """Seed lane ``i`` with the unit vector ``e_{nodes[i]}``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.shape != (self.num_lanes,):
+            raise ValueError("seed_units needs exactly one start node per lane")
+        self.seed(np.arange(self.num_lanes, dtype=np.int64), nodes,
+                  np.ones(self.num_lanes, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    # state views
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> np.ndarray:
+        return self._rows
+
+    @property
+    def cols(self) -> np.ndarray:
+        return self._cols
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._vals
+
+    def lane_bounds(self) -> np.ndarray:
+        """CSR-style boundaries: lane ``i`` owns entries ``bounds[i]:bounds[i+1]``."""
+        return np.searchsorted(self._rows, np.arange(self.num_lanes + 1,
+                                                     dtype=np.int64))
+
+    def frontier(self, lane: int) -> SparseVector:
+        """Lane ``lane``'s current frontier as a sorted :class:`SparseVector`."""
+        lo, hi = np.searchsorted(self._rows, [lane, lane + 1])
+        return SparseVector(self._cols[lo:hi].copy(), self._vals[lo:hi].copy())
+
+    def nonempty(self) -> np.ndarray:
+        """Boolean mask of lanes whose frontier still holds entries."""
+        alive = np.zeros(self.num_lanes, dtype=bool)
+        alive[self._rows] = True
+        return alive
+
+    def snapshot(self, *, scale: float = 1.0,
+                 thresholds: Optional[np.ndarray] = None
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """A scaled, per-lane-thresholded copy of the whole stacked state.
+
+        ``thresholds[lane]`` keeps entries with ``scale·value >= threshold``
+        (the :meth:`SparseVector.filtered` rule applied per lane); the live
+        frontiers are untouched — this is the "store pruned snapshots,
+        propagate exactly" discipline of the index builders.
+        """
+        values = self._vals if scale == 1.0 else scale * self._vals
+        if thresholds is None:
+            return self._rows.copy(), self._cols.copy(), np.array(values)
+        keep = values >= thresholds[self._rows]
+        return self._rows[keep], self._cols[keep], values[keep]
+
+    def terminate(self, lanes: np.ndarray) -> None:
+        """Drop the frontiers of ``lanes`` (their propagations end here)."""
+        dead = np.zeros(self.num_lanes, dtype=bool)
+        dead[np.asarray(lanes, dtype=np.int64)] = True
+        keep = ~dead[self._rows]
+        self._rows, self._cols = self._rows[keep], self._cols[keep]
+        self._vals = self._vals[keep]
+
+    # ------------------------------------------------------------------ #
+    # the level step
+    # ------------------------------------------------------------------ #
+    def step(self, active: Optional[np.ndarray] = None, *, scale: float = 1.0,
+             thresholds: Optional[np.ndarray] = None,
+             narrow_cap: Optional[int] = None) -> np.ndarray:
+        """Advance the selected lanes one level; return per-lane edges gathered.
+
+        ``active`` is a boolean mask over lanes (default: all); unselected
+        lanes keep their frontier.  ``scale`` multiplies every advanced
+        lane's new values (the √c decay), and ``thresholds[lane]`` prunes
+        advanced entries below the lane's threshold after scaling.  The
+        returned int64 array is the per-lane count of CSR entries gathered —
+        the Algorithm 3 cost counter E_k, charged by the caller to whichever
+        budget window owns the lane.
+
+        ``narrow_cap`` opts into the hybrid regime: lanes whose frontier
+        holds more than ``narrow_cap`` entries advance one at a time through
+        the single-lane kernel (whose scatter stays in a lane-local,
+        cache-resident accumulator) while the narrow majority shares the
+        stacked scatter.  Both routes are bit-identical per lane, so the
+        hybrid changes no value — only where the scatter-add lands.
+        """
+        if active is None:
+            adv_rows, adv_cols, adv_vals = self._rows, self._cols, self._vals
+            rest_rows = rest_cols = _EMPTY_I
+            rest_vals = _EMPTY_F
+        else:
+            if active.shape != (self.num_lanes,):
+                raise ValueError("active mask must have one entry per lane")
+            sel = active[self._rows]
+            adv_rows, adv_cols, adv_vals = \
+                self._rows[sel], self._cols[sel], self._vals[sel]
+            rest_rows, rest_cols, rest_vals = \
+                self._rows[~sel], self._cols[~sel], self._vals[~sel]
+
+        counts = self._indptr[adv_cols + 1] - self._indptr[adv_cols]
+        edges = np.bincount(adv_rows, weights=counts,
+                            minlength=self.num_lanes).astype(np.int64)
+
+        wide = None
+        if narrow_cap is not None:
+            sizes = np.bincount(adv_rows, minlength=self.num_lanes)
+            wide = sizes > narrow_cap
+        if wide is not None and wide.any():
+            new_rows, new_cols, new_vals = self._advance_hybrid(
+                adv_rows, adv_cols, adv_vals, wide)
+        elif self.transpose:
+            new_rows, new_cols, new_vals, _ = propagate_batch_transpose(
+                self._indptr, self._indices, self._in_degrees,
+                adv_rows, adv_cols, adv_vals, num_nodes=self.num_nodes)
+        else:
+            new_rows, new_cols, new_vals, _ = propagate_batch(
+                self._indptr, self._indices, adv_rows, adv_cols, adv_vals,
+                num_nodes=self.num_nodes)
+        if scale != 1.0:
+            new_vals = scale * new_vals
+        if thresholds is not None:
+            keep = new_vals >= thresholds[new_rows]
+            new_rows, new_cols = new_rows[keep], new_cols[keep]
+            new_vals = new_vals[keep]
+
+        if rest_rows.size == 0:
+            self._rows, self._cols, self._vals = new_rows, new_cols, new_vals
+        else:
+            rows = np.concatenate([rest_rows, new_rows])
+            cols = np.concatenate([rest_cols, new_cols])
+            vals = np.concatenate([rest_vals, new_vals])
+            order = np.argsort(rows * np.int64(self.num_nodes) + cols,
+                               kind="stable")
+            self._rows, self._cols, self._vals = \
+                rows[order], cols[order], vals[order]
+        return edges
+
+    def _advance_hybrid(self, adv_rows: np.ndarray, adv_cols: np.ndarray,
+                        adv_vals: np.ndarray, wide: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance wide lanes per-lane and narrow lanes stacked; reassemble.
+
+        The per-lane and stacked kernels are bit-identical, so this is a
+        pure scheduling decision; the reassembly copies each lane's sorted
+        segment into its slot of the combined lane-major output.
+        """
+        entry_wide = wide[adv_rows]
+        narrow_out = propagate_batch_transpose(
+            self._indptr, self._indices, self._in_degrees,
+            adv_rows[~entry_wide], adv_cols[~entry_wide],
+            adv_vals[~entry_wide], num_nodes=self.num_nodes) if self.transpose \
+            else propagate_batch(
+                self._indptr, self._indices, adv_rows[~entry_wide],
+                adv_cols[~entry_wide], adv_vals[~entry_wide],
+                num_nodes=self.num_nodes)
+        narrow_rows, narrow_cols, narrow_vals, _ = narrow_out
+
+        lane_bounds = np.searchsorted(adv_rows,
+                                      np.arange(self.num_lanes + 1,
+                                                dtype=np.int64))
+        wide_results = {}
+        for lane in np.flatnonzero(wide).tolist():
+            lo, hi = int(lane_bounds[lane]), int(lane_bounds[lane + 1])
+            frontier = SparseVector.wrap(adv_cols[lo:hi], adv_vals[lo:hi])
+            if self.transpose:
+                advanced, _ = propagate_transpose(
+                    self._indptr, self._indices, self._in_degrees, frontier,
+                    num_nodes=self.num_nodes)
+            else:
+                advanced, _ = propagate_distribution(
+                    self._indptr, self._indices, frontier,
+                    num_nodes=self.num_nodes)
+            wide_results[lane] = advanced
+
+        out_sizes = np.bincount(narrow_rows, minlength=self.num_lanes)
+        for lane, vector in wide_results.items():
+            out_sizes[lane] = vector.nnz
+        offsets = np.zeros(self.num_lanes + 1, dtype=np.int64)
+        np.cumsum(out_sizes, out=offsets[1:])
+        total = int(offsets[-1])
+        new_rows = np.repeat(np.arange(self.num_lanes, dtype=np.int64),
+                             out_sizes)
+        new_cols = np.empty(total, dtype=np.int64)
+        new_vals = np.empty(total, dtype=np.float64)
+        narrow_bounds = np.searchsorted(narrow_rows,
+                                        np.arange(self.num_lanes + 1,
+                                                  dtype=np.int64))
+        for lane in np.flatnonzero(out_sizes).tolist():
+            destination = slice(int(offsets[lane]), int(offsets[lane + 1]))
+            vector = wide_results.get(lane)
+            if vector is None:
+                source = slice(int(narrow_bounds[lane]),
+                               int(narrow_bounds[lane + 1]))
+                new_cols[destination] = narrow_cols[source]
+                new_vals[destination] = narrow_vals[source]
+            else:
+                new_cols[destination] = vector.indices
+                new_vals[destination] = vector.values
+        return new_rows, new_cols, new_vals
+
+
+class DenseLanePropagation:
+    """L independent propagations carried as one (num_nodes × L) dense matrix.
+
+    The saturated-frontier sibling of :class:`MultiPropagation`: one level is
+    a single ``scipy`` CSR-times-dense product ``M @ X`` — one C-level pass
+    over the weighted transition structure for *all* lanes — instead of a
+    stacked sparse scatter whose cost tracks the (here: saturated) frontier
+    size.  Supports match the sparse kernels exactly (a dense entry is zero
+    iff no walk mass reaches it); values agree only to ~1e-15 per level
+    because the matrix product multiplies each contribution by the edge
+    weight before adding, where the frontier kernels sum first and divide
+    once.  Use for exact (unpruned) many-lane walks — the PRSim hub index
+    build — never where bit-equality with the sequential kernels is part of
+    the contract.
+    """
+
+    def __init__(self, matrix, structure_degrees: np.ndarray, *,
+                 num_nodes: int, num_lanes: int):
+        if num_lanes <= 0:
+            raise ValueError("num_lanes must be positive")
+        self._matrix = matrix
+        self._degrees = structure_degrees
+        self.num_nodes = int(num_nodes)
+        self.num_lanes = int(num_lanes)
+        self._state = np.zeros((self.num_nodes, self.num_lanes),
+                               dtype=np.float64)
+
+    @classmethod
+    def forward(cls, graph: DiGraph, num_lanes: int, operator
+                ) -> "DenseLanePropagation":
+        """Reverse-walk direction ``P @ x`` (mass spreads to in-neighbours)."""
+        return cls(operator.matrix, graph.in_degrees,
+                   num_nodes=graph.num_nodes, num_lanes=num_lanes)
+
+    @classmethod
+    def adjoint(cls, graph: DiGraph, num_lanes: int, operator
+                ) -> "DenseLanePropagation":
+        """Transpose direction ``Pᵀ @ x`` (the PRSim hub-walk operator)."""
+        return cls(operator.matrix_t, graph.out_degrees,
+                   num_nodes=graph.num_nodes, num_lanes=num_lanes)
+
+    def seed_units(self, nodes: np.ndarray) -> None:
+        """Seed lane ``i`` with the unit vector ``e_{nodes[i]}``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.shape != (self.num_lanes,):
+            raise ValueError("seed_units needs exactly one start node per lane")
+        self._state[:] = 0.0
+        self._state[nodes, np.arange(self.num_lanes)] = 1.0
+
+    def frontier(self, lane: int) -> SparseVector:
+        column = self._state[:, lane]
+        support = np.flatnonzero(column)
+        return SparseVector(support.astype(np.int64), column[support])
+
+    def step(self, *, scale: float = 1.0) -> np.ndarray:
+        """Advance every lane one level; return per-lane edges traversed.
+
+        The edge count per lane is the same CSR-entry accounting as the
+        sparse engine: the structure degrees of the lane's support.
+        """
+        edges = (self._degrees.astype(np.float64)
+                 @ (self._state != 0.0)).astype(np.int64)
+        self._state = self._matrix @ self._state
+        if scale != 1.0:
+            self._state *= scale
+        return edges
+
+    def snapshot(self, *, scale: float = 1.0,
+                 thresholds: Optional[np.ndarray] = None
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Scaled, per-lane-thresholded COO copy in canonical (lane, node) order."""
+        scaled = self._state.T if scale == 1.0 else scale * self._state.T
+        if thresholds is None:
+            keep = scaled != 0.0
+        else:
+            keep = scaled >= thresholds[:, np.newaxis]
+        rows, cols = np.nonzero(keep)
+        return (rows.astype(np.int64), cols.astype(np.int64),
+                np.ascontiguousarray(scaled[rows, cols]))
+
+
+__all__ = ["DenseLanePropagation", "MultiPropagation", "dense_lane_limit"]

@@ -56,6 +56,20 @@ class SparseVector:
         return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
 
     @classmethod
+    def wrap(cls, indices: np.ndarray, values: np.ndarray) -> "SparseVector":
+        """Trusted constructor for kernel-produced arrays (no validation).
+
+        The hot batched paths create tens of thousands of small vectors per
+        call; this skips the dtype/contiguity/shape checks of
+        ``__post_init__`` for arrays that are already sorted-unique int64 /
+        float64 pairs straight out of a kernel.
+        """
+        vector = object.__new__(cls)
+        object.__setattr__(vector, "indices", indices)
+        object.__setattr__(vector, "values", values)
+        return vector
+
+    @classmethod
     def from_pairs(cls, indices, values) -> "SparseVector":
         """Build from possibly unsorted / duplicated indices (duplicates sum)."""
         idx = _as_index_array(indices)

@@ -99,8 +99,15 @@ def multinomial_split(rng: np.random.Generator, indptr: np.ndarray,
     ``min(count, degree)``:
 
     * **dense** (``count ≥ degree``): one multinomial draw over the node's
-      CSR slice.  States are grouped by degree so each distinct degree costs
-      a single vectorised ``Generator.multinomial`` call.
+      CSR slice.  States are grouped into power-of-two *degree buckets* —
+      the per-state probability vector is padded with zero-probability
+      categories up to the next power of two — so one batched
+      ``Generator.multinomial`` call (2-D ``pvals``) serves every state of a
+      bucket and the Python-level group count is O(log d_max) instead of
+      O(#distinct degrees) on heavy-tailed graphs.  Padded categories draw
+      exactly zero walks (their probability is 0), so the marginal over the
+      real neighbours is the same uniform multinomial, at ≤2× the column
+      work.
     * **sparse** (``count < degree``): expanding the multinomial would touch
       more edges than there are walks (hub nodes with a handful of walkers),
       so each walk draws its edge offset directly — O(count), never worse
@@ -129,27 +136,48 @@ def multinomial_split(rng: np.random.Generator, indptr: np.ndarray,
     dense = ~sparse
     if dense.any():
         dense_rows = np.flatnonzero(dense)
-        order = np.argsort(degrees[dense_rows], kind="stable")
-        dense_rows = dense_rows[order]
         dense_degrees = degrees[dense_rows]
-        boundaries = np.flatnonzero(np.diff(dense_degrees)) + 1
+        # Power-of-two degree buckets: ⌈log2 d⌉ is exact in float for any
+        # representable degree, so bucket boundaries never misplace a state.
+        buckets = np.int64(1) << np.ceil(
+            np.log2(dense_degrees.astype(np.float64))).astype(np.int64)
+        order = np.argsort(buckets, kind="stable")
+        dense_rows = dense_rows[order]
+        dense_degrees = dense_degrees[order]
+        buckets = buckets[order]
+        boundaries = np.flatnonzero(np.diff(buckets)) + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [dense_rows.shape[0]]))
         for lo, hi in zip(starts, ends):
-            degree = int(dense_degrees[lo])
+            width = int(buckets[lo])
             group_rows = dense_rows[lo:hi]
             group_counts = counts[group_rows]
-            if degree == 1:
+            group_degrees = dense_degrees[lo:hi]
+            if width == 1:
                 splits = group_counts[:, np.newaxis]
+                pad = np.zeros(group_rows.shape[0], dtype=np.int64)
             else:
-                splits = rng.multinomial(group_counts,
-                                         np.full(degree, 1.0 / degree))
+                # Pad at the *front*: numpy's multinomial assigns any
+                # floating-point leftover of the sequential binomial draws to
+                # the LAST category, which must therefore be a real
+                # neighbour.  Zero-probability front columns draw exactly
+                # zero walks.
+                pad = width - group_degrees
+                lanes = np.arange(width, dtype=np.int64)
+                pvals = (lanes[np.newaxis, :] >= pad[:, np.newaxis]) \
+                    / group_degrees[:, np.newaxis].astype(np.float64)
+                splits = rng.multinomial(group_counts, pvals)
             base = indptr[nodes[group_rows]]
-            dests = indices[(base[:, np.newaxis]
-                             + np.arange(degree, dtype=np.int64)).ravel()]
+            # Column j maps to neighbour j − pad; padded columns hold zero
+            # walks, so their clamped gather offsets are masked out below.
+            positions = np.clip(base[:, np.newaxis]
+                                + np.arange(width, dtype=np.int64)
+                                - pad[:, np.newaxis],
+                                0, indices.shape[0] - 1)
+            dests = indices[positions.ravel()]
             flat = splits.ravel().astype(np.int64)
             keep = flat > 0
-            row_parts.append(np.repeat(group_rows, degree)[keep])
+            row_parts.append(np.repeat(group_rows, width)[keep])
             dest_parts.append(dests[keep])
             count_parts.append(flat[keep])
 

@@ -1,0 +1,457 @@
+"""Equivalence suite: level-synchronous multi-propagation vs sequential paths.
+
+The :class:`MultiPropagation` engine interleaves B independent propagations
+over shared levels; everything built on it must match the sequential
+schedule it replaced:
+
+* lane-for-lane the engine reproduces :func:`propagate_distribution` /
+  :func:`propagate_transpose` *bit for bit*, including the per-lane edge
+  accounting, dormant (``active``-masked) lanes, per-lane thresholds,
+  dangling nodes, empty frontiers and B = 1;
+* the batched Algorithm 3 exploration
+  (:func:`repro.diagonal.local._exploit_deterministic_batch`) matches the
+  sequential spec (:mod:`repro.diagonal.reference`): identical ℓ(k),
+  identical budget-window accounting (so the adaptive level choice can never
+  drift) and deterministic mass to 1e-12 — with or without a shared cache;
+* PRSim's batched hub index build matches the per-hub reference walk bit for
+  bit, and the flat COO payload round-trips bit-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diagonal.local import (
+    DistributionCache,
+    _exploit_deterministic_batch,
+    estimate_diagonal_entry_local,
+    first_meeting_probabilities,
+)
+from repro.diagonal.reference import (
+    exploit_deterministic_reference,
+    z_level_reference,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import power_law_graph
+from repro.kernels.frontier import propagate_distribution, propagate_transpose
+from repro.kernels.multiprop import MultiPropagation
+from repro.kernels.sparsevec import SparseVector
+
+DECAY = 0.6
+
+
+def _random_graph(seed: int, num_nodes: int, with_self_loops: bool) -> DiGraph:
+    """A random power-law graph with dangling nodes and optional self-loops."""
+    base = power_law_graph(num_nodes, 3.0, exponent=2.1, directed=True, seed=seed)
+    if not with_self_loops:
+        return base
+    rng = np.random.default_rng(seed + 1)
+    loops = rng.choice(num_nodes, size=max(1, num_nodes // 8), replace=False)
+    edges = np.vstack([base.edge_array(), np.column_stack([loops, loops])])
+    return DiGraph.from_edges(edges, num_nodes=num_nodes, name="power-law+loops")
+
+
+graph_strategy = st.builds(
+    _random_graph,
+    seed=st.integers(min_value=0, max_value=2**16),
+    num_nodes=st.integers(min_value=2, max_value=60),
+    with_self_loops=st.booleans(),
+)
+
+
+def _random_lanes(graph: DiGraph, seed: int, num_lanes: int):
+    """Per-lane random sparse frontiers (some lanes deliberately empty)."""
+    rng = np.random.default_rng(seed)
+    frontiers = []
+    for lane in range(num_lanes):
+        size = int(rng.integers(0, min(graph.num_nodes, 10) + 1))
+        nodes = np.sort(rng.choice(graph.num_nodes, size=size, replace=False))
+        values = rng.uniform(1e-6, 1.0, size=size)
+        frontiers.append(SparseVector(nodes.astype(np.int64), values))
+    return frontiers
+
+
+def _seed_engine(engine: MultiPropagation, frontiers) -> None:
+    rows = np.concatenate([np.full(f.nnz, lane, dtype=np.int64)
+                           for lane, f in enumerate(frontiers)])
+    cols = np.concatenate([f.indices for f in frontiers])
+    vals = np.concatenate([f.values for f in frontiers])
+    engine.seed(rows, cols, vals)
+
+
+class TestMultiPropagationKernel:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=graph_strategy,
+           seed=st.integers(min_value=0, max_value=2**16),
+           num_lanes=st.integers(min_value=1, max_value=7),
+           steps=st.integers(min_value=1, max_value=3))
+    def test_forward_matches_sequential_bitwise(self, graph, seed, num_lanes, steps):
+        frontiers = _random_lanes(graph, seed, num_lanes)
+        engine = MultiPropagation.forward(graph, num_lanes)
+        _seed_engine(engine, frontiers)
+        expected = list(frontiers)
+        for _ in range(steps):
+            edges = engine.step()
+            for lane in range(num_lanes):
+                advanced, cost = propagate_distribution(
+                    graph.in_indptr, graph.in_indices, expected[lane],
+                    num_nodes=graph.num_nodes)
+                expected[lane] = advanced
+                assert int(edges[lane]) == cost
+                assert engine.frontier(lane) == advanced
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=graph_strategy,
+           seed=st.integers(min_value=0, max_value=2**16),
+           num_lanes=st.integers(min_value=1, max_value=5))
+    def test_transpose_matches_sequential_bitwise(self, graph, seed, num_lanes):
+        frontiers = _random_lanes(graph, seed, num_lanes)
+        engine = MultiPropagation.adjoint(graph, num_lanes)
+        _seed_engine(engine, frontiers)
+        edges = engine.step()
+        for lane in range(num_lanes):
+            advanced, cost = propagate_transpose(
+                graph.out_indptr, graph.out_indices, graph.in_degrees,
+                frontiers[lane], num_nodes=graph.num_nodes)
+            assert int(edges[lane]) == cost
+            assert engine.frontier(lane) == advanced
+
+    def test_active_mask_freezes_dormant_lanes(self, directed_graph):
+        frontiers = _random_lanes(directed_graph, 5, 4)
+        engine = MultiPropagation.forward(directed_graph, 4)
+        _seed_engine(engine, frontiers)
+        active = np.array([True, False, True, False])
+        edges = engine.step(active=active)
+        for lane in (1, 3):
+            assert engine.frontier(lane) == frontiers[lane]
+            assert edges[lane] == 0
+        for lane in (0, 2):
+            advanced, cost = propagate_distribution(
+                directed_graph.in_indptr, directed_graph.in_indices,
+                frontiers[lane], num_nodes=directed_graph.num_nodes)
+            assert engine.frontier(lane) == advanced
+            assert int(edges[lane]) == cost
+
+    def test_scale_and_per_lane_thresholds(self, directed_graph):
+        frontiers = _random_lanes(directed_graph, 9, 3)
+        thresholds = np.array([0.0, 1e-3, 5e-2])
+        scale = 0.7
+        engine = MultiPropagation.forward(directed_graph, 3)
+        _seed_engine(engine, frontiers)
+        engine.step(scale=scale, thresholds=thresholds)
+        for lane in range(3):
+            advanced, _ = propagate_distribution(
+                directed_graph.in_indptr, directed_graph.in_indices,
+                frontiers[lane], num_nodes=directed_graph.num_nodes)
+            expected = advanced.scaled(scale).filtered(thresholds[lane])
+            assert engine.frontier(lane) == expected
+
+    def test_snapshot_filters_without_touching_state(self, directed_graph):
+        frontiers = _random_lanes(directed_graph, 3, 3)
+        engine = MultiPropagation.forward(directed_graph, 3)
+        _seed_engine(engine, frontiers)
+        thresholds = np.array([0.2, 0.0, 0.9])
+        rows, cols, vals = engine.snapshot(scale=0.5, thresholds=thresholds)
+        for lane in range(3):
+            sel = rows == lane
+            expected = frontiers[lane].scaled(0.5).filtered(thresholds[lane])
+            assert expected == SparseVector(cols[sel], vals[sel])
+            # live state untouched
+            assert engine.frontier(lane) == frontiers[lane]
+
+    def test_terminate_drops_lanes(self, directed_graph):
+        frontiers = _random_lanes(directed_graph, 11, 3)
+        engine = MultiPropagation.forward(directed_graph, 3)
+        _seed_engine(engine, frontiers)
+        engine.terminate(np.array([1]))
+        assert engine.frontier(1).nnz == 0
+        assert engine.frontier(0) == frontiers[0]
+        assert engine.frontier(2) == frontiers[2]
+
+    def test_dangling_frontier_dies_with_zero_cost(self):
+        graph = DiGraph.from_edges([(0, 1), (2, 3)])   # nodes 0, 2 dangling
+        engine = MultiPropagation.forward(graph, 2)
+        engine.seed_units(np.array([0, 1], dtype=np.int64))
+        edges = engine.step()
+        assert edges[0] == 0                      # lane at dangling node 0
+        assert engine.frontier(0).nnz == 0
+        assert engine.frontier(1) == SparseVector(
+            np.array([0]), np.array([1.0]))       # node 1's in-neighbour
+        # an all-empty engine keeps stepping harmlessly
+        engine.terminate(np.array([1]))
+        assert np.array_equal(engine.step(), np.zeros(2, dtype=np.int64))
+        assert not engine.nonempty().any()
+
+
+class TestBatchedExploitEquivalence:
+    @pytest.fixture(scope="class")
+    def walk_graph(self):
+        return power_law_graph(300, 4.0, exponent=2.1, directed=True, seed=23)
+
+    def test_matches_reference_with_shared_cache(self, walk_graph):
+        heavy = np.argsort(-walk_graph.in_degrees)[:30]
+        heavy = heavy[walk_graph.in_degrees[heavy] > 1]
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(32, 3000, heavy.shape[0])
+        requests = list(zip(heavy.tolist(), pairs.tolist()))
+        batch = _exploit_deterministic_batch(
+            walk_graph, DistributionCache(walk_graph), requests,
+            decay=DECAY, max_level=20)
+        shared_reference = DistributionCache(walk_graph)
+        for (node, num_pairs), (chosen, mass, traversed) in zip(requests, batch):
+            for cache in (None, shared_reference):
+                ref_chosen, ref_mass, ref_traversed = \
+                    exploit_deterministic_reference(
+                        walk_graph, node, num_pairs, decay=DECAY,
+                        max_level=20, cache=cache)
+                assert chosen == ref_chosen, f"ℓ(k) drifted for node {node}"
+                assert traversed == ref_traversed, \
+                    f"budget accounting drifted for node {node}"
+                assert mass == pytest.approx(ref_mass, abs=1e-12)
+
+    def test_exhaustion_boundaries_match_reference(self, walk_graph):
+        # Sweep tight budgets across one heavy node so exhaustion fires at
+        # many different points (pre-level check and mid-level raise alike).
+        node = int(np.argmax(walk_graph.in_degrees))
+        for num_pairs in range(32, 600, 17):
+            batch = _exploit_deterministic_batch(
+                walk_graph, DistributionCache(walk_graph),
+                [(node, num_pairs)], decay=DECAY, max_level=20)[0]
+            reference = exploit_deterministic_reference(
+                walk_graph, node, num_pairs, decay=DECAY, max_level=20)
+            assert batch[0] == reference[0]
+            assert batch[2] == reference[2]
+            assert batch[1] == pytest.approx(reference[1], abs=1e-12)
+
+    def test_memoised_repeat_is_identical(self, walk_graph):
+        node = int(np.argmax(walk_graph.in_degrees))
+        cache = DistributionCache(walk_graph)
+        first = _exploit_deterministic_batch(
+            walk_graph, cache, [(node, 500)], decay=DECAY, max_level=20)[0]
+        repeat = _exploit_deterministic_batch(
+            walk_graph, cache, [(node, 500), (node, 500)],
+            decay=DECAY, max_level=20)
+        assert repeat[0] == first and repeat[1] == first
+
+    def test_entry_local_rides_batched_exploration(self, walk_graph):
+        node = int(np.argmax(walk_graph.in_degrees))
+        result = estimate_diagonal_entry_local(walk_graph, node, 400,
+                                               decay=DECAY, seed=3)
+        chosen, mass, traversed = exploit_deterministic_reference(
+            walk_graph, node, 400, decay=DECAY, max_level=20)
+        assert result.chosen_level == chosen
+        assert result.traversed_edges == traversed
+        assert result.deterministic_mass == pytest.approx(mass, abs=1e-12)
+
+    def test_first_meeting_matches_reference_recursion(self, directed_graph):
+        node = int(np.argmax(directed_graph.in_degrees))
+        produced = first_meeting_probabilities(directed_graph, node, 5,
+                                               decay=DECAY)
+        cache = DistributionCache(directed_graph)
+        window = cache.new_window(None)
+        z_levels = []
+        for level in range(1, 6):
+            z_levels.append(z_level_reference(cache, window, node, level,
+                                              z_levels, DECAY))
+        for level_dict, (indices, values) in zip(produced, z_levels):
+            assert level_dict == dict(zip(indices.tolist(), values.tolist()))
+
+
+class TestDistributionCacheBatchedPaths:
+    @pytest.fixture(scope="class")
+    def walk_graph_small(self):
+        return power_law_graph(200, 4.0, exponent=2.1, directed=True, seed=29)
+
+    def test_prefetch_materialises_bitwise_levels(self, directed_graph):
+        starts = np.argsort(-directed_graph.in_degrees)[:6].astype(np.int64)
+        steps = np.array([3, 1, 4, 2, 3, 1], dtype=np.int64)
+        batched = DistributionCache(directed_graph)
+        batched.prefetch(starts, steps)
+        sequential = DistributionCache(directed_graph)
+        for start, target in zip(starts.tolist(), steps.tolist()):
+            for level in range(target + 1):
+                assert batched.peek(start, level) == \
+                    sequential.distribution(start, level)
+        # prefetching again is a no-op (nothing to extend)
+        bytes_before = batched.memory_bytes()
+        batched.prefetch(starts, steps)
+        assert batched.memory_bytes() == bytes_before
+
+    def test_gather_stacked_matches_distribution(self, directed_graph):
+        starts = np.sort(np.argsort(-directed_graph.in_degrees)[:5]).astype(np.int64)
+        cache = DistributionCache(directed_graph)
+        cache.prefetch(starts, np.full(5, 2, dtype=np.int64))
+        lengths, indices, values = cache.gather_stacked(starts, 2)
+        offset = 0
+        for start, length in zip(starts.tolist(), lengths.tolist()):
+            vector = cache.peek(start, 2)
+            assert vector == SparseVector(indices[offset:offset + length],
+                                          values[offset:offset + length])
+            offset += length
+
+    def test_gather_stacked_requires_prefetch(self, directed_graph):
+        cache = DistributionCache(directed_graph)
+        cache.prefetch(np.array([1], dtype=np.int64),
+                       np.array([1], dtype=np.int64))
+        with pytest.raises(KeyError):
+            cache.gather_stacked(np.array([0], dtype=np.int64), 1)
+
+    def test_eviction_never_changes_outcomes(self, directed_graph):
+        node = int(np.argmax(directed_graph.in_degrees))
+        tight = DistributionCache(directed_graph, max_bytes=1)   # evict always
+        roomy = DistributionCache(directed_graph)
+        for cache in (tight, roomy):
+            cache._results = _exploit_deterministic_batch(
+                directed_graph, cache, [(node, 256)], decay=DECAY,
+                max_level=20)
+        assert tight._results == roomy._results
+
+    def test_mid_batch_eviction_keeps_windows_exact(self, walk_graph_small):
+        """Eviction between levels must not double-charge or strand windows.
+
+        A window that paid for levels an eviction dropped re-materialises
+        them for free: ℓ(k), masses and traversed-edge accounting must match
+        the never-evicting run for a whole multi-node batch.
+        """
+        heavy = np.argsort(-walk_graph_small.in_degrees)[:25]
+        heavy = heavy[walk_graph_small.in_degrees[heavy] > 1]
+        requests = [(int(node), pairs) for node in heavy
+                    for pairs in (64, 900)]
+        roomy = _exploit_deterministic_batch(
+            walk_graph_small, DistributionCache(walk_graph_small), requests,
+            decay=DECAY, max_level=20)
+        tight = _exploit_deterministic_batch(
+            walk_graph_small, DistributionCache(walk_graph_small, max_bytes=1),
+            requests, decay=DECAY, max_level=20)
+        assert roomy == tight
+
+    def test_window_never_pays_twice_across_eviction(self, directed_graph):
+        cache = DistributionCache(directed_graph)
+        node = int(np.argmax(directed_graph.in_degrees))
+        window = cache.new_window(None)
+        cache.distribution(node, 3, window)
+        paid = window.traversed_edges
+        cache.max_bytes = 1
+        cache._maybe_evict()
+        cache.max_bytes = None
+        # Re-materialising paid levels is free; one unpaid level then charges.
+        cache.distribution(node, 3, window)
+        assert window.traversed_edges == paid
+        before = window.traversed_edges
+        cache.distribution(node, 4, window)
+        assert window.traversed_edges > before
+        # charge() on a paid-but-evicted start must re-materialise so the
+        # stacked gather finds the level.
+        other = cache.new_window(None)
+        cache.distribution(node, 2, other)
+        cache.max_bytes = 1
+        cache._maybe_evict()
+        cache.max_bytes = None
+        cache.charge(other, np.array([node], dtype=np.int64), 2)
+        lengths, _, _ = cache.gather_stacked(np.array([node], dtype=np.int64), 2)
+        assert lengths.shape == (1,)
+
+
+class TestPRSimBatchedBuild:
+    @pytest.fixture(scope="class")
+    def prepared(self, directed_graph):
+        from repro.baselines.prsim import PRSim
+        return PRSim(directed_graph, epsilon=1e-2, hub_fraction=0.15,
+                     seed=11).preprocess()
+
+    def test_hub_vectors_match_reference(self, prepared):
+        """Dense-lane build: supports exact, values ≤ 1e-12 vs the per-hub walk.
+
+        The dense engine's matrix product orders the float additions
+        differently from the sum-then-divide kernel, so values agree to
+        ~1e-15 per level rather than bit-for-bit; the stored supports (and
+        hence index size and pruning decisions) must be identical.
+        """
+        iterations = prepared.num_iterations()
+        threshold = (1.0 - prepared._operator.sqrt_c) ** 2 * prepared.epsilon
+        batched = prepared._build_hub_vectors(prepared._hubs, iterations,
+                                              threshold)
+        reference = prepared._build_hub_vectors_reference(
+            prepared._hubs, iterations, threshold)
+        for built, expected in zip(batched[:3], reference[:3]):
+            assert np.array_equal(built, expected)
+        assert np.max(np.abs(batched[3] - reference[3])) <= 1e-12
+        for stored, built in zip(prepared._hub_flat, batched):
+            assert np.array_equal(stored, built)
+
+    def test_flat_payload_roundtrip_bit_identical(self, prepared, directed_graph):
+        from repro.baselines.prsim import PRSim
+        payload = {key: np.array(value)
+                   for key, value in prepared._index_payload().items()}
+        restored = PRSim(directed_graph, epsilon=1e-2, hub_fraction=0.15,
+                         seed=11)
+        restored._restore_index(payload)
+        restored._prepared = True
+        for stored, expected in zip(restored._hub_flat, prepared._hub_flat):
+            assert np.array_equal(stored, expected)
+        assert np.array_equal(restored._hubs, prepared._hubs)
+        assert np.array_equal(restored._diagonal, prepared._diagonal)
+        before = prepared.single_source(3).scores
+        after = restored.single_source(3).scores
+        assert np.array_equal(before, after)
+
+    def test_restore_rejects_out_of_range_entries(self, prepared, directed_graph):
+        from repro.baselines.base import IndexPersistenceError
+        from repro.baselines.prsim import PRSim
+        for field, bad in (("hub_levels", 10_000), ("hub_cols", -1),
+                           ("hub_cols", directed_graph.num_nodes)):
+            payload = dict(prepared._index_payload())
+            if payload[field].size == 0:
+                continue
+            corrupted = payload[field].copy()
+            corrupted[0] = bad
+            payload[field] = corrupted
+            restored = PRSim(directed_graph, epsilon=1e-2, hub_fraction=0.15,
+                             seed=11)
+            with pytest.raises(IndexPersistenceError):
+                restored._restore_index(payload)
+
+    def test_restore_canonicalises_shuffled_payload(self, prepared, directed_graph):
+        from repro.baselines.prsim import PRSim
+        payload = prepared._index_payload()
+        rng = np.random.default_rng(0)
+        permutation = rng.permutation(payload["hub_cols"].shape[0])
+        shuffled = dict(payload)
+        for key in ("hub_positions", "hub_levels", "hub_cols", "hub_vals"):
+            shuffled[key] = payload[key][permutation]
+        restored = PRSim(directed_graph, epsilon=1e-2, hub_fraction=0.15,
+                         seed=11)
+        restored._restore_index(shuffled)
+        for stored, expected in zip(restored._hub_flat, prepared._hub_flat):
+            assert np.array_equal(stored, expected)
+
+    def test_hub_pass_matches_dense_accumulation(self, prepared, directed_graph):
+        """The one-bincount hub pass equals the per-(hub, level) dense loop."""
+        from repro.ppr.hop_ppr import hop_ppr_vectors
+        source = 3
+        iterations = prepared.num_iterations()
+        hop_ppr = hop_ppr_vectors(directed_graph, source, iterations,
+                                  decay=prepared.decay,
+                                  operator=prepared._operator)
+        scale = 1.0 / (1.0 - prepared._operator.sqrt_c) ** 2
+        positions, levels, cols, vals = prepared._hub_flat
+        expected = np.zeros(directed_graph.num_nodes)
+        for position, hub in enumerate(prepared._hubs.tolist()):
+            for level in range(iterations + 1):
+                sel = (positions == position) & (levels == level)
+                if not sel.any():
+                    continue
+                dense = np.zeros(directed_graph.num_nodes)
+                dense[cols[sel]] = vals[sel]
+                expected += scale * prepared._diagonal[hub] * \
+                    hop_ppr.hop_dense(level)[hub] * dense
+        hub_mass = np.empty((prepared._hubs.shape[0], iterations + 1))
+        for level in range(iterations + 1):
+            hub_mass[:, level] = hop_ppr.hop_dense(level)[prepared._hubs]
+        entry_weights = (scale * prepared._diagonal[prepared._hubs])[positions] \
+            * hub_mass[positions, levels]
+        produced = np.bincount(cols, weights=vals * entry_weights,
+                               minlength=directed_graph.num_nodes)
+        assert np.max(np.abs(produced - expected)) < 1e-12

@@ -72,6 +72,37 @@ class TestKernels:
         for row, dest in zip(rows[:200], dests[:200]):
             assert dest in walk_graph.in_neighbors(int(nodes[row]))
 
+    def test_multinomial_split_pow2_padding_stays_on_real_neighbours(self):
+        # Degrees 3, 5, 6, 7 pad to buckets 4 and 8: padded zero-probability
+        # columns must never emit a walk, and every destination must be a
+        # true in-neighbour of its state even at huge counts (the leftover
+        # of the sequential binomial draws lands on the LAST — real —
+        # category by construction).
+        edges = []
+        hubs = {0: 3, 10: 5, 20: 6, 30: 7}
+        leaf = 40
+        for hub, degree in hubs.items():
+            for _ in range(degree):
+                edges.append((leaf, hub))
+                leaf += 1
+        graph = DiGraph.from_edges(edges)
+        rng = np.random.default_rng(8)
+        nodes = np.array(sorted(hubs), dtype=np.int64)
+        counts = np.full(nodes.shape[0], 100_000, dtype=np.int64)
+        rows, dests, split = multinomial_split(
+            rng, graph.in_indptr, graph.in_indices, nodes, counts)
+        per_row = np.bincount(rows, weights=split, minlength=nodes.shape[0])
+        assert np.array_equal(per_row.astype(np.int64), counts)
+        for row in range(nodes.shape[0]):
+            neighbours = set(graph.in_neighbors(int(nodes[row])).tolist())
+            assert set(dests[rows == row].tolist()) <= neighbours
+            sel = rows == row
+            shares = np.bincount(dests[sel] - dests[sel].min(),
+                                 weights=split[sel])
+            shares = shares[shares > 0] / 100_000
+            degree = len(neighbours)
+            assert np.all(np.abs(shares - 1.0 / degree) < 0.02)
+
     def test_multinomial_split_uniform_marginals(self):
         # Star: hub 0 with 6 leaves pointing at it; one state, huge count.
         edges = [(leaf, 0) for leaf in range(1, 7)]
