@@ -10,7 +10,9 @@ baseline its evaluation depends on:
 * :mod:`repro.core` — the ExactSim algorithm (basic and optimized);
 * :mod:`repro.baselines` — PowerMethod, MC, Linearization, ParSim, PRSim, ProbeSim;
 * :mod:`repro.metrics` — MaxError, Precision@k, pooling;
-* :mod:`repro.experiments` — drivers regenerating every figure and table.
+* :mod:`repro.experiments` — drivers regenerating every figure and table;
+* :mod:`repro.service` — the query plane: typed single-pair/single-source/
+  top-k queries, the capability-aware planner, result caching and coalescing.
 
 Quickstart
 ----------
@@ -39,6 +41,8 @@ from repro.baselines import (
     simrank_matrix,
 )
 from repro.metrics import max_error, precision_at_k
+from repro.core.result import SinglePairResult
+from repro import service
 
 __version__ = "1.0.0"
 
@@ -51,7 +55,9 @@ __all__ = [
     "adaptive_top_k",
     "AdaptiveTopKResult",
     "SingleSourceResult",
+    "SinglePairResult",
     "TopKResult",
+    "service",
     "DiGraph",
     "GraphContext",
     "algorithm_registry",

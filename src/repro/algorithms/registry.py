@@ -130,7 +130,9 @@ def describe_all() -> List[Dict[str, object]]:
 # built-in registrations
 # --------------------------------------------------------------------------- #
 _EXACTSIM_KEYS = ("epsilon", "decay", "seed", "max_total_samples",
-                  "max_walk_steps", "max_exploit_level", "failure_constant")
+                  "max_walk_steps", "max_exploit_level", "failure_constant",
+                  "use_sparse_linearization", "use_squared_sampling",
+                  "use_local_exploitation")
 
 
 def _exactsim_factory(optimized: bool) -> Factory:

@@ -21,6 +21,11 @@ way:
   one call.  The default implementation loops over :meth:`single_source`
   (bit-identical to sequential queries); methods with a genuinely vectorized
   batch path (ExactSim) override it.
+* **Capability-declared query types** — :meth:`single_pair` and :meth:`top_k`
+  always work (derived from a single-source pass by default); a method that
+  overrides one with a genuinely cheaper native path declares it in
+  :attr:`SimRankAlgorithm.native_capabilities`, which the service planner
+  reads to route typed queries to the cheapest capable path.
 * **Index persistence** — :meth:`save_index` / :meth:`load_index` write and
   read an npz snapshot of the method's index so expensive preprocessing
   survives the process.  Subclasses expose their index through the
@@ -42,12 +47,22 @@ from repro.graph.digraph import DiGraph
 from repro.utils.timing import Timer
 
 if TYPE_CHECKING:  # imported lazily to keep baselines ↔ core import-cycle free
-    from repro.core.result import SingleSourceResult, TopKResult
+    from repro.core.result import SinglePairResult, SingleSourceResult, TopKResult
 
 #: Version tag written into every index file; bumped on layout changes.
 INDEX_FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
+
+#: The query kinds the service planner routes.  ``single_source`` (and its
+#: batch form) is the universal contract every method implements;
+#: ``single_pair`` and ``top_k`` always have derived fallbacks here in the
+#: base class, and a method lists a kind in ``native_capabilities`` exactly
+#: when it overrides the fallback with a genuinely cheaper native path.
+QUERY_SINGLE_SOURCE = "single_source"
+QUERY_SINGLE_PAIR = "single_pair"
+QUERY_TOP_K = "top_k"
+QUERY_KINDS = (QUERY_SINGLE_SOURCE, QUERY_SINGLE_PAIR, QUERY_TOP_K)
 
 
 class IndexPersistenceError(RuntimeError):
@@ -61,6 +76,11 @@ class SimRankAlgorithm(abc.ABC):
     name: str = "simrank-algorithm"
     #: Whether the method builds an index in a preprocessing phase.
     index_based: bool = False
+    #: Query kinds (beyond ``single_source``) this method answers natively —
+    #: i.e. with a dedicated path that is cheaper than deriving the answer
+    #: from a full single-source pass.  The planner consults this to route
+    #: typed queries; subclasses with a native path override it.
+    native_capabilities: frozenset = frozenset()
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6,
                  context: Optional[GraphContext] = None):
@@ -121,8 +141,42 @@ class SimRankAlgorithm(abc.ABC):
         self.ensure_prepared()
         return [self.single_source(int(source)) for source in sources]
 
+    def single_pair(self, source: int, target: int) -> SinglePairResult:
+        """Answer a single-pair query S(source, target).
+
+        The default implementation derives the answer from a full
+        single-source pass (one entry of the score vector); methods that can
+        evaluate one entry without materialising the vector override this
+        and declare ``single_pair`` in :attr:`native_capabilities`.
+        """
+        from repro.core.result import SinglePairResult
+
+        result = SinglePairResult.from_single_source(
+            self.single_source(source), target)
+        result.stats["derived_from_single_source"] = 1.0
+        return result
+
     def top_k(self, source: int, k: int = 500) -> TopKResult:
-        return self.single_source(source).top_k(k)
+        """Answer a top-k query (derived: truncate a full single-source pass).
+
+        Index-based methods whose query accumulates per-level contributions
+        override this with a native path that stops refining once the k-th
+        score gap exceeds the remaining tail bound, and declare ``top_k`` in
+        :attr:`native_capabilities`.
+        """
+        result = self.single_source(source)
+        answer = result.top_k(k)
+        answer.query_seconds = result.query_seconds
+        answer.stats["derived_from_single_source"] = 1.0
+        return answer
+
+    def capabilities(self) -> Dict[str, str]:
+        """Routing table row: query kind -> ``"native"`` or ``"derived"``."""
+        table = {QUERY_SINGLE_SOURCE: "native"}
+        for kind in (QUERY_SINGLE_PAIR, QUERY_TOP_K):
+            table[kind] = ("native" if kind in self.native_capabilities
+                           else "derived")
+        return table
 
     # ------------------------------------------------------------------ #
     # index persistence
@@ -222,4 +276,12 @@ class SimRankAlgorithm(abc.ABC):
         return f"{type(self).__name__}(graph={self.graph.name!r}, decay={self.decay})"
 
 
-__all__ = ["SimRankAlgorithm", "IndexPersistenceError", "INDEX_FORMAT_VERSION"]
+__all__ = [
+    "SimRankAlgorithm",
+    "IndexPersistenceError",
+    "INDEX_FORMAT_VERSION",
+    "QUERY_SINGLE_SOURCE",
+    "QUERY_SINGLE_PAIR",
+    "QUERY_TOP_K",
+    "QUERY_KINDS",
+]

@@ -30,6 +30,11 @@ class ParSim(SimRankAlgorithm):
 
     name = "parsim"
     index_based = False
+    #: ParSim answers everything through the full linearized iteration: its
+    #: D ≈ (1 − c)·I approximation has no per-level error bound to certify a
+    #: top-k gap against, and a pair costs the same iteration, so both query
+    #: types stay on the derived single-source fallbacks.
+    native_capabilities = frozenset()
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, iterations: int = 20,
                  context: Optional[GraphContext] = None):

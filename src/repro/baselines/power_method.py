@@ -20,8 +20,8 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
-from repro.core.result import SingleSourceResult
+from repro.baselines.base import QUERY_SINGLE_PAIR, IndexPersistenceError, SimRankAlgorithm
+from repro.core.result import SinglePairResult, SingleSourceResult
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.graph.transition import TransitionOperator
@@ -62,6 +62,8 @@ class PowerMethod(SimRankAlgorithm):
 
     name = "power-method"
     index_based = True
+    #: A pair query is one matrix cell read (no row copy; see :meth:`pair`).
+    native_capabilities = frozenset({QUERY_SINGLE_PAIR})
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, tolerance: float = 1e-10,
                  max_iterations: int = 100, context: Optional[GraphContext] = None):
@@ -113,6 +115,17 @@ class PowerMethod(SimRankAlgorithm):
         node_a = check_node_index(node_a, self.graph.num_nodes, "node_a")
         node_b = check_node_index(node_b, self.graph.num_nodes, "node_b")
         return float(self.matrix[node_a, node_b])
+
+    def single_pair(self, source: int, target: int) -> SinglePairResult:
+        """Typed single-pair answer: one cell of the precomputed matrix."""
+        self.ensure_prepared()
+        timer = Timer()
+        with timer:
+            score = self.pair(source, target)
+        return SinglePairResult(source=source, target=int(target), score=score,
+                                algorithm=self.name, query_seconds=timer.elapsed,
+                                preprocessing_seconds=self.preprocessing_seconds,
+                                stats={"native_single_pair": 1.0})
 
     def index_bytes(self) -> int:
         return int(self._matrix.nbytes) if self._matrix is not None else 0

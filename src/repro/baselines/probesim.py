@@ -29,8 +29,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import SimRankAlgorithm
-from repro.core.result import SingleSourceResult
+from repro.baselines.base import QUERY_SINGLE_PAIR, SimRankAlgorithm
+from repro.core.result import SinglePairResult, SingleSourceResult
+from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.diagonal.parsim_approx import parsim_diagonal
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
@@ -47,6 +48,10 @@ class ProbeSim(SimRankAlgorithm):
 
     name = "probesim"
     index_based = False
+    #: A pair query samples the source walks as usual but replaces the
+    #: graph-wide reverse probes with one forward hop-PPR push from the
+    #: target (see :meth:`single_pair`).
+    native_capabilities = frozenset({QUERY_SINGLE_PAIR})
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, num_walks: int = 200,
                  max_steps: int = 12, probe_threshold: float = 1e-4,
@@ -116,6 +121,61 @@ class ProbeSim(SimRankAlgorithm):
                    self._diagonal[meeting_nodes])
         scores += np.bincount(cols, weights=vals * weights[rows],
                               minlength=num_nodes)
+
+    def single_pair(self, source: int, target: int) -> SinglePairResult:
+        """Estimate S(source, target) with pair-local probing work only.
+
+        The estimator is unchanged — sample the source's √c-walk occupancy
+        h_i^ℓ and weight each visited node k by π_·^ℓ(k)·D(k)/(1 − √c) — but
+        only the ``target`` entry of every probe is needed, and
+        π_target^ℓ(k) over all k is one *forward* hop-PPR push from the
+        target (π_j^ℓ(k) = (1 − √c)·((√c Pᵀ)^ℓ e_k)(j) by the walk
+        symmetry).  The per-step batched reverse expansion over the whole
+        graph never runs; its cost collapses to one push plus per-step
+        sparse gathers over the visited nodes.
+        """
+        source = check_node_index(source, self.graph.num_nodes, "source")
+        target = check_node_index(target, self.graph.num_nodes, "target")
+        timer = Timer()
+        with timer:
+            if source == target:
+                score = 1.0
+            else:
+                levels = self._engine.visit_count_steps(
+                    np.array([source], dtype=np.int64),
+                    np.array([self.num_walks], dtype=np.int64),
+                    max_steps=self.max_steps)
+                # The derived path prunes raw walk masses at probe_threshold;
+                # hop-PPR entries carry an extra (1 − √c) stopping factor, so
+                # the equivalent hop cut-off is (1 − √c)·probe_threshold.
+                sqrt_c = self._operator.sqrt_c
+                threshold = ((1.0 - sqrt_c) * self.probe_threshold
+                             if self.probe_threshold > 0.0 else None)
+                hop_target = hop_ppr_vectors(
+                    self.graph, target, self.max_steps, decay=self.decay,
+                    truncation_threshold=threshold, operator=self._operator)
+                scale = 1.0 / ((1.0 - sqrt_c) * self.num_walks)
+                score = 0.0
+                for step, (meeting_nodes, counts) in enumerate(levels):
+                    if meeting_nodes.size == 0:
+                        continue
+                    pi_target = self._gather_hop(hop_target.hops[step],
+                                                 meeting_nodes)
+                    score += scale * float(np.sum(
+                        counts * self._diagonal[meeting_nodes] * pi_target))
+                score = float(np.clip(score, 0.0, 1.0))
+        return SinglePairResult(source=source, target=target, score=score,
+                                algorithm=self.name, query_seconds=timer.elapsed,
+                                stats={"native_single_pair": 1.0,
+                                       "num_walks": float(self.num_walks),
+                                       "max_steps": float(self.max_steps)})
+
+    @staticmethod
+    def _gather_hop(hop, nodes: np.ndarray) -> np.ndarray:
+        """``hop[nodes]`` for a dense array or sorted-index sparse hop vector."""
+        if isinstance(hop, np.ndarray):
+            return hop[nodes]
+        return hop.gather(nodes)
 
     def _probe(self, node: int, level: int) -> SparseVector:
         """π_·^level(node) as a sparse vector (truncated reverse probe).

@@ -44,8 +44,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
-from repro.core.result import SingleSourceResult
+from repro.baselines.base import QUERY_TOP_K, IndexPersistenceError, SimRankAlgorithm
+from repro.core.result import SingleSourceResult, TopKResult, top_k_set_certified
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.kernels.frontier import propagate_batch_transpose, propagate_transpose
@@ -73,6 +73,10 @@ class PRSim(SimRankAlgorithm):
 
     name = "prsim"
     index_based = True
+    #: Top-k accumulates the per-level hub + on-the-fly contributions in
+    #: increasing level order and stops once the k-th score gap exceeds the
+    #: remaining c^ℓ tail (see :meth:`top_k`).
+    native_capabilities = frozenset({QUERY_TOP_K})
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, epsilon: float = 1e-3,
                  hub_fraction: float = 0.1, seed: SeedLike = None,
@@ -86,6 +90,11 @@ class PRSim(SimRankAlgorithm):
         self._hubs: Optional[np.ndarray] = None
         self._hub_flat: HubIndex = _EMPTY_INDEX
         self._diagonal: Optional[np.ndarray] = None
+        # Per-(hub, level) index maxima and by-level entry grouping
+        # (query-time acceleration structures); rebuilt lazily whenever the
+        # hub index changes.
+        self._hubmax: Optional[np.ndarray] = None
+        self._hub_by_level: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def num_iterations(self) -> int:
         return int(np.ceil(np.log(2.0 / self.epsilon) / np.log(1.0 / self.decay)))
@@ -219,6 +228,8 @@ class PRSim(SimRankAlgorithm):
         self._hubs = hubs
         self._hub_flat = hub_flat
         self._diagonal = diagonal
+        self._hubmax = None
+        self._hub_by_level = None
 
     # ------------------------------------------------------------------ #
     # persistence: hubs + diagonal + the hub index as flat COO triplets
@@ -271,6 +282,8 @@ class PRSim(SimRankAlgorithm):
         self._hub_flat = (positions[order], levels[order],
                           cols[order], vals[order])
         self._diagonal = diagonal
+        self._hubmax = None
+        self._hub_by_level = None
 
     # ------------------------------------------------------------------ #
     # query
@@ -324,6 +337,128 @@ class PRSim(SimRankAlgorithm):
                                   stats={"epsilon": self.epsilon,
                                          "num_hubs": float(self._hubs.shape[0]),
                                          "index_bytes": float(self.index_bytes())})
+
+    def _hub_level_maxima(self, iterations: int) -> np.ndarray:
+        """Max stored index value per (hub position, level), cached per index.
+
+        ``hubmax[p, ℓ] = max_j π_j^ℓ(hub_p)`` bounds how much any node's
+        score can gain from hub p on level ℓ; one O(nnz) pass per index
+        serves every subsequent top-k query's tail bounds.
+        """
+        if self._hubmax is None or self._hubmax.shape[1] != iterations + 1:
+            assert self._hubs is not None
+            positions, levels, _, vals = self._hub_flat
+            hubmax = np.zeros((self._hubs.shape[0], iterations + 1),
+                              dtype=np.float64)
+            if vals.size:
+                np.maximum.at(hubmax, (positions, levels), vals)
+            self._hubmax = hubmax
+        return self._hubmax
+
+    def _hub_entries_by_level(self, iterations: int
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat-index entry order grouped by level, cached per index.
+
+        The flat order is (position, level, column), so per-level access
+        needs a regrouping; one stable argsort per index serves every
+        subsequent top-k query's per-level slices.
+        """
+        if self._hub_by_level is None \
+                or self._hub_by_level[1].shape[0] != iterations + 2:
+            _, levels, _, _ = self._hub_flat
+            order = np.argsort(levels, kind="stable")
+            bounds = np.searchsorted(levels[order], np.arange(iterations + 2))
+            self._hub_by_level = (order, bounds)
+        return self._hub_by_level
+
+    def top_k(self, source: int, k: int = 500) -> TopKResult:
+        """Top-k with per-level early stopping under an exact suffix tail.
+
+        The single-source answer is a sum of per-level contributions (the
+        hub read-off plus the on-the-fly reverse batch of that level).  The
+        level-ℓ term is entrywise at most
+
+            T_ℓ = scale · [ Σ_{hub k} π_i^ℓ(k)·D(k)·hubmax_ℓ(k)
+                            + (1 − √c)·(√c)^ℓ · Σ_{probe k} π_i^ℓ(k)·D(k) ],
+
+        with the hub part read off the cached per-(hub, level) index maxima
+        and the probe part bounded by the reverse-walk mass cap (√c)^ℓ over
+        the level's actual probe candidates.  The hop-PPR vectors are cheap
+        (one sparse mat-vec per level, which the derived path pays too), so
+        they are computed to full depth up front; what early stopping skips
+        is exactly the *deep reverse batches* — the expensive part, whose
+        per-level cost grows with the probe depth.
+        """
+        source = check_node_index(source, self.graph.num_nodes, "source")
+        self.ensure_prepared()
+        assert self._hubs is not None and self._diagonal is not None
+        timer = Timer()
+        iterations = self.num_iterations()
+        levels_used = iterations + 1
+        with timer:
+            num_nodes = self.graph.num_nodes
+            sqrt_c = self._operator.sqrt_c
+            residual = 1.0 - sqrt_c
+            scale = 1.0 / residual ** 2
+            coarse_threshold = residual * self.epsilon
+            is_hub = np.zeros(num_nodes, dtype=bool)
+            is_hub[self._hubs] = True
+            positions, level_tags, cols, vals = self._hub_flat
+            by_level, level_bounds = self._hub_entries_by_level(iterations)
+            hubmax = self._hub_level_maxima(iterations)
+
+            hops: List[np.ndarray] = []
+            walk = np.zeros(num_nodes, dtype=np.float64)
+            walk[source] = 1.0
+            term_bounds = np.empty(iterations + 1, dtype=np.float64)
+            diag_hubs = self._diagonal[self._hubs]
+            for level in range(iterations + 1):
+                hop_vector = residual * walk
+                hops.append(hop_vector)
+                hub_part = float(np.sum(hop_vector[self._hubs] * diag_hubs
+                                        * hubmax[:, level]))
+                probe_mask = (hop_vector > coarse_threshold) & ~is_hub
+                probe_part = (residual * sqrt_c ** level
+                              * float(np.sum(hop_vector[probe_mask]
+                                             * self._diagonal[probe_mask])))
+                term_bounds[level] = scale * (hub_part + probe_part)
+                if level < iterations:
+                    walk = self._operator.decayed_backward(walk)
+            # tails[ℓ] = Σ_{m ≥ ℓ} T_m: the most the levels from ℓ on can add.
+            tails = np.concatenate([np.cumsum(term_bounds[::-1])[::-1], [0.0]])
+
+            scores = np.zeros(num_nodes, dtype=np.float64)
+            for level in range(iterations + 1):
+                hop_vector = hops[level]
+                lo, hi = level_bounds[level], level_bounds[level + 1]
+                if hi > lo:
+                    entries = by_level[lo:hi]
+                    hub_nodes = self._hubs[positions[entries]]
+                    entry_weights = (scale * self._diagonal[hub_nodes]
+                                     * hop_vector[hub_nodes])
+                    scores += np.bincount(cols[entries],
+                                          weights=vals[entries] * entry_weights,
+                                          minlength=num_nodes)
+                candidates = np.flatnonzero((hop_vector > coarse_threshold)
+                                            & ~is_hub)
+                if candidates.size:
+                    self._accumulate_reverse_batch(scores, candidates, level,
+                                                   hop_vector, coarse_threshold,
+                                                   scale)
+                if level < iterations and tails[level + 1] < 1.0 \
+                        and top_k_set_certified(
+                            scores, k, float(tails[level + 1]), exclude=source):
+                    levels_used = level + 1
+                    break
+            np.clip(scores, 0.0, 1.0, out=scores)
+            scores[source] = 1.0
+            answer = SingleSourceResult(source=source, scores=scores,
+                                        algorithm=self.name).top_k(k)
+        answer.query_seconds = timer.elapsed
+        answer.stats = {"native_top_k": 1.0, "levels_used": float(levels_used),
+                        "levels_total": float(iterations + 1),
+                        "certified": float(levels_used < iterations + 1)}
+        return answer
 
     def _accumulate_reverse_batch(self, scores: np.ndarray, candidates: np.ndarray,
                                   level: int, hop_vector: np.ndarray,

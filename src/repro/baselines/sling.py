@@ -30,8 +30,18 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 from scipy import sparse
 
-from repro.baselines.base import IndexPersistenceError, SimRankAlgorithm
-from repro.core.result import SingleSourceResult
+from repro.baselines.base import (
+    QUERY_SINGLE_PAIR,
+    QUERY_TOP_K,
+    IndexPersistenceError,
+    SimRankAlgorithm,
+)
+from repro.core.result import (
+    SinglePairResult,
+    SingleSourceResult,
+    TopKResult,
+    top_k_set_certified,
+)
 from repro.diagonal.basic import estimate_diagonal_basic
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
@@ -46,6 +56,10 @@ class SLING(SimRankAlgorithm):
 
     name = "sling"
     index_based = True
+    #: Pairs read two stored rows per level (no mat-vec at all); top-k stops
+    #: accumulating levels once the k-th score gap exceeds the remaining
+    #: c^ℓ tail (see :meth:`single_pair` / :meth:`top_k`).
+    native_capabilities = frozenset({QUERY_SINGLE_PAIR, QUERY_TOP_K})
 
     def __init__(self, graph: DiGraph, *, decay: float = 0.6, epsilon: float = 1e-2,
                  samples_per_node: Optional[int] = None, seed: SeedLike = None,
@@ -61,6 +75,9 @@ class SLING(SimRankAlgorithm):
         # _hop_matrices[ℓ] is a CSR matrix H_ℓ with H_ℓ[k, j] ≈ (√c Pᵀ)^ℓ[k, j],
         # i.e. row k holds the level-ℓ reverse hop probabilities of node k.
         self._hop_matrices: List[sparse.csr_matrix] = []
+        # Per-level column maxima (query-time tail bounds); rebuilt lazily
+        # whenever the hop matrices change.
+        self._colmax: Optional[List[np.ndarray]] = None
 
     def num_iterations(self) -> int:
         return int(np.ceil(np.log(2.0 / self.epsilon) / np.log(1.0 / self.decay)))
@@ -90,6 +107,7 @@ class SLING(SimRankAlgorithm):
             if level < iterations:
                 current = (sqrt_c * (current @ self._operator.matrix_t)).tocsr()
         self._hop_matrices = matrices
+        self._colmax = None
 
     # ------------------------------------------------------------------ #
     # persistence: diagonal + one CSR triple per hop level
@@ -124,6 +142,7 @@ class SLING(SimRankAlgorithm):
                 shape=(num_nodes, num_nodes)))
         self._diagonal = diagonal
         self._hop_matrices = matrices
+        self._colmax = None
 
     # ------------------------------------------------------------------ #
     # query
@@ -155,6 +174,119 @@ class SLING(SimRankAlgorithm):
                                   stats={"epsilon": self.epsilon,
                                          "samples_per_node": float(self.samples_per_node),
                                          "index_bytes": float(self.index_bytes())})
+
+    def single_pair(self, source: int, target: int) -> SinglePairResult:
+        """S(source, target) from the stored index: two row gathers per level.
+
+        The identity S(i, j) = Σ_ℓ Σ_k H_ℓ[i, k]·D(k, k)·H_ℓ[j, k] touches
+        only the two stored rows of each hop matrix — no ``H_ℓ @ v`` product
+        over the whole graph — so a pair costs the intersection of two
+        sparse supports per level.
+        """
+        source = check_node_index(source, self.graph.num_nodes, "source")
+        target = check_node_index(target, self.graph.num_nodes, "target")
+        self.ensure_prepared()
+        assert self._diagonal is not None
+        timer = Timer()
+        with timer:
+            if source == target:
+                score = 1.0
+            else:
+                score = 0.0
+                for hop_matrix in self._hop_matrices:
+                    row_i = slice(hop_matrix.indptr[source],
+                                  hop_matrix.indptr[source + 1])
+                    row_j = slice(hop_matrix.indptr[target],
+                                  hop_matrix.indptr[target + 1])
+                    if row_i.start == row_i.stop or row_j.start == row_j.stop:
+                        continue
+                    shared, idx_i, idx_j = np.intersect1d(
+                        hop_matrix.indices[row_i], hop_matrix.indices[row_j],
+                        assume_unique=True, return_indices=True)
+                    if shared.size == 0:
+                        continue
+                    score += float(np.sum(
+                        hop_matrix.data[row_i][idx_i] * self._diagonal[shared]
+                        * hop_matrix.data[row_j][idx_j]))
+                score = float(np.clip(score, 0.0, 1.0))
+        return SinglePairResult(source=source, target=target, score=score,
+                                algorithm=self.name, query_seconds=timer.elapsed,
+                                preprocessing_seconds=self.preprocessing_seconds,
+                                stats={"native_single_pair": 1.0,
+                                       "epsilon": self.epsilon})
+
+    def _level_column_maxima(self) -> List[np.ndarray]:
+        """Per-level column maxima of the hop matrices (cached per index).
+
+        ``colmax[ℓ][k] = max_j H_ℓ[j, k]`` bounds how much *any* node's
+        score can gain from meeting mass at k on level ℓ; one O(nnz) pass
+        per index build serves every subsequent top-k query's tail bounds.
+        """
+        if self._colmax is None or len(self._colmax) != len(self._hop_matrices):
+            colmax: List[np.ndarray] = []
+            for matrix in self._hop_matrices:
+                level_max = np.zeros(self.graph.num_nodes, dtype=np.float64)
+                if matrix.nnz:
+                    np.maximum.at(level_max, matrix.indices, matrix.data)
+                colmax.append(level_max)
+            self._colmax = colmax
+        return self._colmax
+
+    def top_k(self, source: int, k: int = 500) -> TopKResult:
+        """Top-k with per-level early stopping under an exact suffix tail.
+
+        The single-source accumulation adds one non-negative level term at
+        a time, and the level-m term is entrywise at most
+        T_m = Σ_k H_m[source, k]·D(k)·colmax_m(k) — computable for *all*
+        remaining levels up front from the stored source rows and the
+        cached per-level column maxima (within ~2× of the true maximum in
+        practice, orders sharper than the a-priori c^m bound).  The loop
+        stops as soon as the current k-th best score leads the (k+1)-th by
+        the remaining Σ T_m: the final top-k *set* can no longer change,
+        and the scores carry at most that (certified-small) truncation on
+        top of the method's ε error.
+        """
+        source = check_node_index(source, self.graph.num_nodes, "source")
+        self.ensure_prepared()
+        assert self._diagonal is not None
+        timer = Timer()
+        num_levels = len(self._hop_matrices)
+        levels_used = num_levels
+        with timer:
+            colmax = self._level_column_maxima()
+            term_bounds = np.empty(num_levels, dtype=np.float64)
+            for level, hop_matrix in enumerate(self._hop_matrices):
+                start, stop = hop_matrix.indptr[source], hop_matrix.indptr[source + 1]
+                cols = hop_matrix.indices[start:stop]
+                term_bounds[level] = float(np.sum(
+                    hop_matrix.data[start:stop] * self._diagonal[cols]
+                    * colmax[level][cols]))
+            # tails[ℓ] = Σ_{m ≥ ℓ} T_m: the most the levels from ℓ on can add.
+            tails = np.concatenate([np.cumsum(term_bounds[::-1])[::-1], [0.0]])
+
+            scores = np.zeros(self.graph.num_nodes, dtype=np.float64)
+            for level, hop_matrix in enumerate(self._hop_matrices):
+                start, stop = hop_matrix.indptr[source], hop_matrix.indptr[source + 1]
+                if start != stop:
+                    source_cols = hop_matrix.indices[start:stop]
+                    weighted = np.zeros(self.graph.num_nodes, dtype=np.float64)
+                    weighted[source_cols] = (hop_matrix.data[start:stop] *
+                                             self._diagonal[source_cols])
+                    scores += hop_matrix @ weighted
+                if level + 1 < num_levels and tails[level + 1] < 1.0 \
+                        and top_k_set_certified(
+                            scores, k, float(tails[level + 1]), exclude=source):
+                    levels_used = level + 1
+                    break
+            np.clip(scores, 0.0, 1.0, out=scores)
+            scores[source] = 1.0
+            answer = SingleSourceResult(source=source, scores=scores,
+                                        algorithm=self.name).top_k(k)
+        answer.query_seconds = timer.elapsed
+        answer.stats = {"native_top_k": 1.0, "levels_used": float(levels_used),
+                        "levels_total": float(num_levels),
+                        "certified": float(levels_used < num_levels)}
+        return answer
 
     #: Sources processed per batched-query chunk: bounds the dense
     #: (num_nodes × chunk) work matrices to a few MB on the large graphs.

@@ -1,13 +1,19 @@
 """Command-line interface.
 
-Five subcommands cover the library's day-to-day uses:
+Six subcommands cover the library's day-to-day uses:
 
 * ``repro-simrank datasets``   — print the dataset registry (Table 2);
-* ``repro-simrank methods``    — print the algorithm registry;
+* ``repro-simrank methods``    — print the algorithm registry (with the
+  planner's routing table: which query kinds each method answers natively);
 * ``repro-simrank query``      — answer single-source / top-k queries with
   **any registered method** (``--method``), for one source (``--source``) or
   a batch (``--sources a,b,c``, answered through the vectorized batch path),
   optionally against a persisted index directory (``--index-dir``);
+* ``repro-simrank answer``     — the serving loop: read a JSONL stream of
+  typed queries (``{"type": "single_pair", "source": 1, "target": 2}``) from
+  a file or stdin, route each through the query planner (LRU cache,
+  micro-batch coalescing, native single-pair/top-k paths, persisted-index
+  auto-load), and emit one JSON answer per line;
 * ``repro-simrank index``      — ``index build`` preprocesses an index-based
   method and saves its index as npz; ``index load`` restores one and
   optionally answers a query from it;
@@ -21,9 +27,10 @@ The console script ``repro-simrank`` is installed by ``pip install -e .``;
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Iterator, Optional, Sequence, TextIO
 
 from repro.algorithms import registry
 from repro.baselines.base import IndexPersistenceError
@@ -41,6 +48,7 @@ from repro.graph.context import GraphContext
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
+from repro.service import QueryPlanner, query_from_dict, result_to_dict
 
 _FIGURE_DRIVERS = {
     "fig1": fig_error_vs_query_time,
@@ -104,6 +112,24 @@ def _build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--index-dir",
                               help="directory of persisted indices: load the method's "
                                    "index if present, else build and save it there")
+
+    answer_parser = subparsers.add_parser(
+        "answer", help="serve a JSONL stream of typed queries through the planner")
+    _add_graph_arguments(answer_parser)
+    _add_method_arguments(answer_parser)
+    answer_parser.add_argument("--queries", default="-",
+                               help="JSONL query file, or '-' for stdin (default)")
+    answer_parser.add_argument("--batch-size", type=int, default=64,
+                               help="queries coalesced per planner micro-batch")
+    answer_parser.add_argument("--cache-entries", type=int, default=256,
+                               help="LRU result-cache capacity (0 disables)")
+    answer_parser.add_argument("--index-dir",
+                               help="directory of persisted indices: auto-load on "
+                                    "first touch of an index-based method")
+    answer_parser.add_argument("--save-indices", action="store_true",
+                               help="persist freshly built indices to --index-dir")
+    answer_parser.add_argument("--stats", action="store_true",
+                               help="print serving statistics to stderr at the end")
 
     index_parser = subparsers.add_parser(
         "index", help="build / load persisted indices of index-based methods")
@@ -216,6 +242,88 @@ def _command_datasets(args: argparse.Namespace) -> int:
 def _command_methods(args: argparse.Namespace) -> int:
     print(format_rows(registry.describe_all()))
     return 0
+
+
+def _iter_query_lines(stream: TextIO) -> Iterator[str]:
+    for line in stream:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            yield line
+
+
+def _command_answer(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    # Every registered method gets its config from the generic flags, so a
+    # stream line naming any method ("method": "prsim") just works.
+    method_configs = {name: _method_config(args, name)
+                      for name in registry.available()}
+    try:
+        method = _resolve_method(args)
+        planner = QueryPlanner(graph, context=GraphContext.shared(graph),
+                               default_method=method,
+                               method_configs=method_configs,
+                               cache_entries=args.cache_entries,
+                               index_dir=args.index_dir,
+                               save_indices=args.save_indices)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print("error: --batch-size must be positive", file=sys.stderr)
+        return 2
+
+    stream = sys.stdin if args.queries == "-" else open(args.queries, "r")
+    failures = 0
+    try:
+        # Each item is ("query", query) or ("error", payload): error lines
+        # buffer alongside their batch so output line N always answers
+        # input line N (clients correlate positionally).
+        batch: list = []
+        for line in _iter_query_lines(stream):
+            try:
+                query = query_from_dict(json.loads(line))
+                if query.source < 0 or query.source >= graph.num_nodes or (
+                        getattr(query, "target", 0) < 0
+                        or getattr(query, "target", 0) >= graph.num_nodes):
+                    raise ValueError(f"node id out of range for graph with "
+                                     f"{graph.num_nodes} nodes")
+                if getattr(query, "k", 1) < 1:
+                    raise ValueError("k must be positive")
+                if query.method is not None \
+                        and query.method not in registry.available():
+                    raise ValueError(f"unknown method {query.method!r}")
+                batch.append(("query", query))
+            except (ValueError, KeyError, json.JSONDecodeError) as error:
+                failures += 1
+                batch.append(("error", {"error": str(error), "line": line}))
+            if len(batch) >= args.batch_size:
+                _answer_batch(planner, batch)
+                batch = []
+        if batch:
+            _answer_batch(planner, batch)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    if args.stats:
+        print("# serving stats: " + json.dumps(planner.stats()), file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
+def _answer_batch(planner: QueryPlanner, batch: list) -> None:
+    """Answer the batch's queries and emit every item in input order."""
+    queries = [item for kind, item in batch if kind == "query"]
+    outcomes = iter(planner.answer(queries))
+    for kind, item in batch:
+        if kind == "error":
+            print(json.dumps(item))
+            continue
+        outcome = next(outcomes)
+        payload = result_to_dict(outcome.result)
+        payload["method"] = outcome.plan.method
+        payload["route"] = outcome.plan.route
+        if outcome.plan.batched:
+            payload["batched"] = True
+        print(json.dumps(payload))
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -342,6 +450,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_methods(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "answer":
+        return _command_answer(args)
     if args.command == "index":
         if args.index_command == "build":
             return _command_index_build(args)

@@ -32,9 +32,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import SimRankAlgorithm
+from repro.baselines.base import QUERY_SINGLE_PAIR, SimRankAlgorithm
 from repro.core.config import ExactSimConfig
-from repro.core.result import SingleSourceResult, TopKResult
+from repro.core.result import SinglePairResult, SingleSourceResult, TopKResult
 from repro.core.sampling import allocate_proportional, allocate_squared, total_sample_budget
 from repro.diagonal.basic import estimate_diagonal_basic_batch
 from repro.diagonal.local import DistributionCache, estimate_diagonal_local_batch
@@ -68,6 +68,10 @@ class ExactSim(SimRankAlgorithm):
 
     name = "exactsim"
     index_based = False
+    #: A pair query runs only the two hop-PPR pushes and the per-level
+    #: weighted dots over their shared support — no back-substitution over
+    #: the whole graph (see :meth:`single_pair`).
+    native_capabilities = frozenset({QUERY_SINGLE_PAIR})
 
     def __init__(self, graph: DiGraph, config: Optional[ExactSimConfig] = None, *,
                  context: Optional[GraphContext] = None):
@@ -182,7 +186,95 @@ class ExactSim(SimRankAlgorithm):
 
     def top_k(self, source: int, k: int = 500) -> TopKResult:
         """Answer a top-k query by extracting the k best scores of a single-source run."""
-        return self.single_source(source).top_k(k)
+        return super().top_k(source, k)
+
+    def single_pair(self, source: int, target: int) -> SinglePairResult:
+        """Answer S(source, target) with pair-local work only.
+
+        Via the ℓ-hop identity S(i, j) = Σ_ℓ Σ_k π_i^ℓ(k)·D(k,k)·π_j^ℓ(k)
+        / (1 − √c)², a pair needs exactly two phase-1 hop-PPR pushes (source
+        and target) and the diagonal estimates on their *shared* support —
+        phase 3's L back-substitution passes over the whole graph never run,
+        and the phase-2 walk budget is allocated only to nodes both walks
+        can actually meet at (nodes outside the target's reachable set
+        contribute nothing to this one entry).
+        """
+        source = check_node_index(source, self.graph.num_nodes, "source")
+        target = check_node_index(target, self.graph.num_nodes, "target")
+        config = self.config
+        timer = Timer()
+        stats: Dict[str, float] = {"native_single_pair": 1.0}
+        with timer:
+            if source == target:
+                score = 1.0
+            else:
+                num_iterations = config.num_iterations()
+                threshold = config.truncation_threshold()
+                if threshold is not None:
+                    # Frontier-proportional local pushes (one batched call
+                    # for both endpoints): a pair pays for the two nodes'
+                    # actual neighbourhoods, not for L dense passes over the
+                    # graph — this is where the pair path beats the derived
+                    # fallback, whose phase 3 stays dense regardless.
+                    pushes = forward_push_hop_ppr_batch(
+                        self.graph, [source, target], num_iterations,
+                        threshold, decay=config.decay)
+                    hop_i = self._hop_ppr_from_push(pushes[0], num_iterations)
+                    hop_j = self._hop_ppr_from_push(pushes[1], num_iterations)
+                else:
+                    # Basic variant: no truncation, dense recursion (as in
+                    # the sequential phase 1).
+                    hop_i = hop_ppr_vectors(self.graph, source, num_iterations,
+                                            decay=config.decay,
+                                            operator=self._operator)
+                    hop_j = hop_ppr_vectors(self.graph, target, num_iterations,
+                                            decay=config.decay,
+                                            operator=self._operator)
+                # Allocate exactly as the single-source pass would (same
+                # per-node R(k), hence the same D̂(k) accuracy and the same
+                # Algorithm 3 exploration depths), then drop the nodes the
+                # target cannot meet the source at: D(k, k) enters this
+                # entry through the product π_i(k)·π_j(k), so their samples
+                # would be pure waste.  Restricting the *support* instead of
+                # re-normalising the budget keeps the pair's error within
+                # the single-source bound while strictly shrinking phase 2.
+                allocation, alloc_stats = self._allocate_samples(hop_i.total)
+                allocation = np.where(hop_j.total > 0.0, allocation, 0)
+                stats.update(alloc_stats)
+                stats["samples_realised"] = float(allocation.sum())
+                stats["pair_support"] = float(np.count_nonzero(allocation))
+                if not np.any(hop_j.total > 0.0):
+                    score = 0.0
+                else:
+                    diagonal = self._diagonal_from_allocations([allocation])[0]
+                    scale = 1.0 / (1.0 - config.sqrt_c) ** 2
+                    score = scale * sum(
+                        self._pair_level_dot(hop_i.hops[level],
+                                             hop_j.hops[level], diagonal)
+                        for level in range(num_iterations + 1))
+                    score = float(np.clip(score, 0.0, 1.0))
+                stats["iterations"] = float(num_iterations)
+        return SinglePairResult(source=source, target=target, score=score,
+                                algorithm=self.name, query_seconds=timer.elapsed,
+                                stats=stats)
+
+    @staticmethod
+    def _pair_level_dot(hop_i, hop_j, diagonal: np.ndarray) -> float:
+        """Σ_k hop_i(k) · diagonal(k) · hop_j(k) for dense/sparse hop vectors."""
+        if isinstance(hop_i, np.ndarray) and isinstance(hop_j, np.ndarray):
+            return float(np.einsum("k,k,k->", hop_i, diagonal, hop_j))
+        if isinstance(hop_i, np.ndarray):
+            hop_i, hop_j = hop_j, hop_i
+        if hop_i.nnz == 0:
+            return 0.0
+        if isinstance(hop_j, np.ndarray):
+            gathered = hop_j[hop_i.indices]
+            return float(np.dot(hop_i.values * diagonal[hop_i.indices], gathered))
+        # Both sparse: evaluate the shorter support against the other.
+        if hop_j.nnz < hop_i.nnz:
+            hop_i, hop_j = hop_j, hop_i
+        return float(np.sum(hop_i.values * diagonal[hop_i.indices]
+                            * hop_j.gather(hop_i.indices)))
 
     # ------------------------------------------------------------------ #
     # phases
@@ -277,18 +369,22 @@ class ExactSim(SimRankAlgorithm):
                       num_hops=num_iterations, hops=list(push.levels), total=total,
                       truncated=True, truncation_threshold=push.r_max)
 
-    def _allocate_samples(self, hop_ppr: HopPPR
+    def _allocate_samples(self, total_weights: np.ndarray
                           ) -> tuple[np.ndarray, Dict[str, float]]:
-        """Phase 2 sample allocation for one source; returns (R(·), stats)."""
+        """Phase 2 sample allocation over ``total_weights``; returns (R(·), stats).
+
+        ``total_weights`` is π_i for a single-source query; the pair query
+        passes π_i restricted to the target's reachable support.
+        """
         config = self.config
         budget = total_sample_budget(self.graph.num_nodes, config.effective_epsilon,
                                      decay=config.decay,
                                      failure_constant=config.failure_constant)
         cap = config.max_total_samples
         if config.use_squared_sampling:
-            allocation, realised = allocate_squared(hop_ppr.total, budget, cap=cap)
+            allocation, realised = allocate_squared(total_weights, budget, cap=cap)
         else:
-            allocation, realised = allocate_proportional(hop_ppr.total, budget, cap=cap)
+            allocation, realised = allocate_proportional(total_weights, budget, cap=cap)
         stats = {
             "sample_budget": float(budget),
             "samples_realised": float(realised),
@@ -313,29 +409,33 @@ class ExactSim(SimRankAlgorithm):
         cache across the batch (a hub allocated by several sources pays for
         its local neighbourhood once).
         """
-        config = self.config
         allocations: List[np.ndarray] = []
         per_source_stats: List[Dict[str, float]] = []
         for hop_ppr in hop_pprs:
-            allocation, stats = self._allocate_samples(hop_ppr)
+            allocation, stats = self._allocate_samples(hop_ppr.total)
             allocations.append(allocation)
             per_source_stats.append(stats)
 
-        if config.use_local_exploitation:
-            diagonals = estimate_diagonal_local_batch(
-                self.graph, allocations, decay=config.decay,
-                max_level=config.max_exploit_level,
-                max_steps=config.max_walk_steps, engine=self._walk_engine,
-                cache=self._distribution_cache)
-        else:
-            diagonals = estimate_diagonal_basic_batch(
-                self.graph, allocations, decay=config.decay,
-                max_steps=config.max_walk_steps, engine=self._walk_engine)
+        diagonals = self._diagonal_from_allocations(allocations)
         cache_bytes = float(self._distribution_cache.memory_bytes())
         for diagonal, stats in zip(diagonals, per_source_stats):
             stats["diagonal_memory_bytes"] = float(diagonal.nbytes)
             stats["distribution_cache_bytes"] = cache_bytes
         return diagonals, per_source_stats
+
+    def _diagonal_from_allocations(self, allocations: List[np.ndarray]
+                                   ) -> List[np.ndarray]:
+        """Estimate D̂ for every allocation (Algorithm 2 or 3 per the config)."""
+        config = self.config
+        if config.use_local_exploitation:
+            return estimate_diagonal_local_batch(
+                self.graph, allocations, decay=config.decay,
+                max_level=config.max_exploit_level,
+                max_steps=config.max_walk_steps, engine=self._walk_engine,
+                cache=self._distribution_cache)
+        return estimate_diagonal_basic_batch(
+            self.graph, allocations, decay=config.decay,
+            max_steps=config.max_walk_steps, engine=self._walk_engine)
 
     def _back_substitute(self, hop_ppr: HopPPR, diagonal: np.ndarray) -> np.ndarray:
         """Phase 3: s^L = Σ_ℓ (√c Pᵀ)^ℓ D̂ π_i^ℓ / (1 − √c)."""

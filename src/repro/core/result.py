@@ -70,6 +70,34 @@ class SingleSourceResult:
 
 
 @dataclass
+class SinglePairResult:
+    """The answer to a single-pair query: one estimated similarity S(source, target).
+
+    Produced either natively (methods that can evaluate one entry without
+    materialising the full score vector) or derived from a single-source
+    answer; ``stats`` records which path ran and its cost counters.
+    """
+
+    source: int
+    target: int
+    score: float
+    algorithm: str = "exactsim"
+    query_seconds: float = 0.0
+    preprocessing_seconds: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_single_source(cls, result: "SingleSourceResult", target: int
+                           ) -> "SinglePairResult":
+        """Read one entry of a full single-source answer (the derived path)."""
+        return cls(source=result.source, target=int(target),
+                   score=result.similarity(target), algorithm=result.algorithm,
+                   query_seconds=result.query_seconds,
+                   preprocessing_seconds=result.preprocessing_seconds,
+                   stats=dict(result.stats))
+
+
+@dataclass
 class TopKResult:
     """The answer to a top-k query: nodes sorted by decreasing similarity."""
 
@@ -77,6 +105,8 @@ class TopKResult:
     nodes: np.ndarray
     scores: np.ndarray
     algorithm: str = "exactsim"
+    query_seconds: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def k(self) -> int:
@@ -95,4 +125,39 @@ class TopKResult:
         return len(self.node_set() & reference.node_set()) / float(reference.k)
 
 
-__all__ = ["SingleSourceResult", "TopKResult"]
+def top_k_set_certified(scores: np.ndarray, k: int, tail_bound: float, *,
+                        exclude: Optional[int] = None) -> bool:
+    """Whether ``scores``' top-``k`` set is final under a one-sided tail bound.
+
+    The level-synchronous methods accumulate per-level contributions
+    t_0 + t_1 + … in increasing level order; every remaining term is
+    non-negative and their sum is at most ``tail_bound``.  The top-k *set* of
+    the final scores is therefore fixed as soon as the current k-th best
+    score exceeds the (k+1)-th best by at least the tail: members can only
+    grow, and no outsider can gain more than ``tail_bound``.  (The *order*
+    inside the set may still change — callers that need a certified order
+    must keep refining.)
+    """
+    if k < 1:
+        # Invalid k: never certify, so the caller's final top_k(k) raises
+        # its own clean error instead of a partial-sum ranking escaping.
+        return False
+    if tail_bound <= 0.0:
+        return True
+    effective = scores
+    if exclude is not None and 0 <= exclude < scores.shape[0]:
+        effective = scores.copy()
+        effective[exclude] = -np.inf
+    if k >= effective.shape[0]:
+        # The set is trivially final (every node is in it), but certifying
+        # here would freeze the *ranking* at the first partial sum; refuse
+        # so callers keep refining and return fully-accumulated scores.
+        return False
+    top = np.partition(effective, -(k + 1))[-(k + 1):]   # k+1 largest, unordered
+    top.sort()
+    kth, next_best = float(top[1]), float(top[0])
+    return kth - next_best >= tail_bound
+
+
+__all__ = ["SingleSourceResult", "SinglePairResult", "TopKResult",
+           "top_k_set_certified"]

@@ -7,6 +7,12 @@ adaptive strategy for top-k queries: run ExactSim at a coarse ε, refine ε by a
 fixed factor, and stop as soon as the top-k set (and, optionally, its order)
 stops changing between consecutive refinements.  The final answer carries the
 finest ε reached, so callers know the confidence of the ranking.
+
+:func:`adaptive_top_k` is now a thin ExactSim-flavoured wrapper around the
+generic refinement loop in :mod:`repro.service.adaptive`, which serves every
+registered method through the planner's instance cache (shared
+:class:`~repro.graph.context.GraphContext`, native top-k paths, persisted
+indices); this module keeps the paper-facing API and result type.
 """
 
 from __future__ import annotations
@@ -14,10 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-import numpy as np
-
 from repro.core.config import ExactSimConfig
-from repro.core.exactsim import ExactSim
 from repro.core.result import TopKResult
 from repro.graph.digraph import DiGraph
 from repro.utils.validation import check_node_index, check_positive, check_positive_int
@@ -76,44 +79,32 @@ def adaptive_top_k(graph: DiGraph, source: int, k: int = 500, *,
     if stable_rounds < 1:
         raise ValueError("stable_rounds must be at least 1")
 
+    # Imported here: the service layer sits above core in the module graph.
+    from repro.service.adaptive import refine_top_k
+    from repro.service.planner import QueryPlanner
+
     template = base_config if base_config is not None else ExactSimConfig()
-    epsilons: List[float] = []
-    total_seconds = 0.0
-    converged = False
-    latest_answer: Optional[TopKResult] = None
-    consecutive_stable = 0
-
-    epsilon = initial_epsilon
-    while True:
-        epsilons.append(epsilon)
-        config = template.with_epsilon(epsilon)
-        result = ExactSim(graph, config).single_source(source)
-        total_seconds += result.query_seconds
-        answer = result.top_k(k)
-
-        if latest_answer is not None and _same_answer(latest_answer, answer,
-                                                      require_same_order):
-            consecutive_stable += 1
-        else:
-            consecutive_stable = 0
-        latest_answer = answer
-
-        if consecutive_stable >= stable_rounds:
-            converged = True
-            break
-        if epsilon <= min_epsilon:
-            break
-        epsilon = max(epsilon / refinement_factor, min_epsilon)
-
-    assert latest_answer is not None
-    return AdaptiveTopKResult(top_k=latest_answer, epsilons=epsilons,
-                              converged=converged, total_query_seconds=total_seconds)
-
-
-def _same_answer(first: TopKResult, second: TopKResult, require_same_order: bool) -> bool:
-    if require_same_order:
-        return np.array_equal(first.nodes, second.nodes)
-    return first.node_set() == second.node_set()
+    method = "exactsim" if template.optimized else "exactsim-basic"
+    # Every template knob (including partial optimization-flag combinations)
+    # passes through the registry config, so the per-round instances carry
+    # the exact template configuration with only ε swept.
+    shared_config = {
+        name: getattr(template, name)
+        for name in ("decay", "seed", "max_total_samples", "max_walk_steps",
+                     "max_exploit_level", "failure_constant",
+                     "use_sparse_linearization", "use_squared_sampling",
+                     "use_local_exploitation")}
+    planner = QueryPlanner(graph, default_method=method, cache_entries=0)
+    refined = refine_top_k(
+        planner, method, source, k,
+        initial=initial_epsilon,
+        refine=lambda epsilon: max(epsilon / refinement_factor, min_epsilon),
+        stop=lambda epsilon: epsilon <= min_epsilon,
+        stable_rounds=stable_rounds, require_same_order=require_same_order,
+        base_config=shared_config)
+    return AdaptiveTopKResult(top_k=refined.top_k, epsilons=refined.parameters,
+                              converged=refined.converged,
+                              total_query_seconds=refined.total_query_seconds)
 
 
 __all__ = ["AdaptiveTopKResult", "adaptive_top_k"]

@@ -97,6 +97,74 @@ class BudgetExhausted(Exception):
     """Raised by :class:`DistributionCache` when the edge budget is spent."""
 
 
+class SparseDepthRecord:
+    """Charged-depth-per-node record that stores only touched nodes.
+
+    A budget window charges the cache for a few hundred starts at most (the
+    supports of one heavy node's Z-levels), so a dense ``int32[num_nodes]``
+    record wastes 4·n bytes per window — ~150 concurrent windows on a
+    million-node graph would burn 600 MB of zeros.  This record keeps a
+    plain ``dict`` of touched nodes plus a lazily rebuilt sorted-array view
+    for the vectorized gathers of the batched charge path; memory is
+    O(touched), and the rebuild cost amortises because the hot path gathers
+    far more often than it mutates.
+    """
+
+    __slots__ = ("_map", "_keys", "_values")
+
+    def __init__(self) -> None:
+        self._map: Dict[int, int] = {}
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+
+    def get(self, node: int) -> int:
+        """The charged depth of ``node`` (0 when never touched)."""
+        return self._map.get(node, 0)
+
+    def set(self, node: int, depth: int) -> None:
+        self._map[node] = depth
+        self._keys = None
+
+    def get_many(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`get` over an int64 node array."""
+        if not self._map:
+            return np.zeros(nodes.shape[0], dtype=np.int64)
+        if self._keys is None:
+            keys = np.fromiter(self._map.keys(), dtype=np.int64,
+                               count=len(self._map))
+            values = np.fromiter(self._map.values(), dtype=np.int64,
+                                 count=len(self._map))
+            order = np.argsort(keys)
+            self._keys, self._values = keys[order], values[order]
+        assert self._values is not None
+        positions = np.searchsorted(self._keys, nodes)
+        valid = positions < self._keys.shape[0]
+        depths = np.zeros(nodes.shape[0], dtype=np.int64)
+        hit = np.zeros(nodes.shape[0], dtype=bool)
+        hit[valid] = self._keys[positions[valid]] == nodes[valid]
+        depths[hit] = self._values[positions[hit]]
+        return depths
+
+    def set_many(self, nodes: np.ndarray, depth: int) -> None:
+        """Vectorized :meth:`set` of one depth for many nodes."""
+        update = self._map
+        for node in nodes.tolist():
+            update[node] = depth
+        self._keys = None
+
+    @property
+    def touched(self) -> int:
+        return len(self._map)
+
+    def memory_bytes(self) -> int:
+        """Rough payload: ~50 bytes per dict slot plus the array view."""
+        total = 50 * len(self._map)
+        if self._keys is not None:
+            assert self._values is not None
+            total += int(self._keys.nbytes + self._values.nbytes)
+        return total
+
+
 class BudgetWindow:
     """One Algorithm 3 edge-budget window (the per-node cost counter E_k).
 
@@ -105,8 +173,10 @@ class BudgetWindow:
     can charge one shared :class:`DistributionCache` concurrently — the
     level-synchronous batch keeps one window per heavy node while all nodes
     share the cache.  Obtain instances from
-    :meth:`DistributionCache.new_window` (the depth record is a flat array
-    over the graph's nodes so batch charging is pure array arithmetic).
+    :meth:`DistributionCache.new_window`.  The depth record is a
+    :class:`SparseDepthRecord` over the touched nodes only, so a window's
+    footprint scales with the nodes it actually charged — not with the
+    graph (the ROADMAP memory condition for million-node graphs).
     """
 
     __slots__ = ("edge_budget", "traversed_edges", "_depths")
@@ -114,9 +184,7 @@ class BudgetWindow:
     def __init__(self, edge_budget: Optional[float], num_nodes: int):
         self.edge_budget = edge_budget
         self.traversed_edges = 0
-        # int32 halves the per-window footprint (4·n bytes); recursion depths
-        # are bounded by max_level, orders of magnitude below the dtype cap.
-        self._depths = np.zeros(num_nodes, dtype=np.int32)
+        self._depths = SparseDepthRecord()
 
 
 class DistributionCache:
@@ -293,14 +361,14 @@ class DistributionCache:
         window = self._window if window is None else window
         start = int(start)
         levels = self._ensure_root(start)
-        charged = int(window._depths[start])
+        charged = window._depths.get(start)
         budget = window.edge_budget
         while charged < min(steps, int(self._avail[start])):
             if budget is not None and window.traversed_edges >= budget:
                 raise BudgetExhausted()
             charged += 1
             window.traversed_edges += self.level_cost(start, charged)
-            window._depths[start] = charged
+            window._depths.set(start, charged)
         while self._avail[start] < steps:
             # A window never pays for the same level twice: depths the window
             # already charged before an eviction re-materialise for free (the
@@ -314,7 +382,7 @@ class DistributionCache:
             if chargeable:
                 charged += 1
                 window.traversed_edges += cost
-                window._depths[start] = charged
+                window._depths.set(start, charged)
         return levels[steps]
 
     # ------------------------------------------------------------------ #
@@ -336,7 +404,7 @@ class DistributionCache:
         starts = np.asarray(starts, dtype=np.int64)
         if starts.size == 0:
             return
-        depths = window._depths[starts]
+        depths = window._depths.get_many(starts)
         need = depths < steps
         budget = window.edge_budget
         # The fast path needs every start materialised to ``steps`` — the
@@ -352,7 +420,7 @@ class DistributionCache:
             total = int(amounts.sum())
             if budget is None or window.traversed_edges + total < budget:
                 window.traversed_edges += total
-                window._depths[selected] = steps
+                window._depths.set_many(selected, steps)
                 return
         for start in starts.tolist():
             self.distribution(start, steps, window)
@@ -629,7 +697,7 @@ def _demand_for_level(cache: DistributionCache, window: Optional[BudgetWindow],
         if budget is None:
             cut = starts.shape[0]
         else:
-            window_depths = window._depths[starts]
+            window_depths = window._depths.get_many(starts)
             depths = np.minimum(window_depths, capped)
             charges = cache._prefix[starts, capped] \
                 - cache._prefix[starts, depths]
@@ -1056,6 +1124,7 @@ def estimate_diagonal_local_batch(graph: DiGraph,
 __all__ = [
     "BudgetExhausted",
     "BudgetWindow",
+    "SparseDepthRecord",
     "DistributionCache",
     "LocalExploitResult",
     "estimate_diagonal_entry_local",

@@ -20,6 +20,8 @@ from repro.baselines.base import SimRankAlgorithm
 from repro.core.result import SingleSourceResult
 from repro.graph.digraph import DiGraph
 from repro.metrics.accuracy import max_error, precision_at_k
+from repro.service.planner import QueryPlanner
+from repro.service.queries import SingleSourceQuery
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timing import Timer
 
@@ -149,10 +151,13 @@ def _evaluate_point(algorithm: SimRankAlgorithm, query_nodes: Sequence[int],
                     time_budget: Optional[float]) -> SweepPoint:
     """Run one algorithm instance over all query nodes and aggregate metrics.
 
-    Query nodes are issued as **batched queries**
-    (:meth:`SimRankAlgorithm.single_source_batch`), so methods with a
-    vectorized multi-source path answer many sources per pass; for the rest
-    the batch is equivalent to the former sequential loop.  Without a time
+    Query nodes are issued as **typed queries through the planner**: the
+    algorithm instance registers with a fresh :class:`QueryPlanner` (result
+    cache off — a sweep must measure every query) and the batch of
+    :class:`SingleSourceQuery` requests coalesces into the same
+    ``single_source_batch`` micro-batch the harness used to call directly,
+    so methods with a vectorized multi-source path answer many sources per
+    pass and the rest are equivalent to a sequential loop.  Without a time
     budget the whole sweep point is one batch.  With a budget, queries run
     in chunks of ``_BUDGET_CHUNK`` so an expensive method stops doing work
     shortly after the budget is spent (the overrun is bounded by one chunk,
@@ -169,14 +174,20 @@ def _evaluate_point(algorithm: SimRankAlgorithm, query_nodes: Sequence[int],
                           index_bytes=algorithm.index_bytes(), max_error=np.nan,
                           precision_at_k=np.nan, num_queries=0, skipped=True)
 
-    sources = [int(source) for source in query_nodes]
+    planner = QueryPlanner(algorithm.graph, context=algorithm.context,
+                           cache_entries=0)
+    method = planner.register(algorithm)
+    queries = [SingleSourceQuery(int(source), method=method)
+               for source in query_nodes]
     if time_budget is None:
-        results: List[SingleSourceResult] = algorithm.single_source_batch(sources)
+        results: List[SingleSourceResult] = [
+            outcome.result for outcome in planner.answer(queries)]
     else:
         results = []
         spent = 0.0
-        for start in range(0, len(sources), _BUDGET_CHUNK):
-            chunk = algorithm.single_source_batch(sources[start:start + _BUDGET_CHUNK])
+        for start in range(0, len(queries), _BUDGET_CHUNK):
+            chunk = [outcome.result for outcome in
+                     planner.answer(queries[start:start + _BUDGET_CHUNK])]
             results.extend(chunk)
             spent += sum(result.query_seconds for result in chunk)
             if spent > time_budget:

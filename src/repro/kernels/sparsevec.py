@@ -126,6 +126,22 @@ class SparseVector:
     def sum(self) -> float:
         return float(self.values.sum())
 
+    def gather(self, nodes: np.ndarray) -> np.ndarray:
+        """``dense[nodes]`` without densifying: zeros where ``nodes`` miss.
+
+        One ``searchsorted`` over the sorted unique indices; the query-plane
+        pair paths use this to evaluate hop vectors at a handful of meeting
+        nodes.
+        """
+        gathered = np.zeros(nodes.shape[0], dtype=np.float64)
+        if self.nnz:
+            positions = np.searchsorted(self.indices, nodes)
+            valid = positions < self.nnz
+            hit = np.zeros(nodes.shape[0], dtype=bool)
+            hit[valid] = self.indices[positions[valid]] == nodes[valid]
+            gathered[hit] = self.values[positions[hit]]
+        return gathered
+
     # ------------------------------------------------------------------ #
     # container protocol
     # ------------------------------------------------------------------ #

@@ -1,0 +1,58 @@
+"""Query plane: typed queries, a capability-aware planner, and serving caches.
+
+The :mod:`repro.service` package separates *what* a caller asks from *how*
+the algorithm layer executes it:
+
+* :mod:`repro.service.queries` — the typed request model
+  (:class:`SingleSourceQuery`, :class:`SinglePairQuery`, :class:`TopKQuery`)
+  and its JSONL wire format;
+* :mod:`repro.service.planner` — :class:`QueryPlanner`: routes each query to
+  the cheapest capable path (LRU result cache → cached-vector derivation →
+  native method path → coalesced derived fallback), auto-loading persisted
+  indices;
+* :mod:`repro.service.adaptive` — adaptive top-k refinement over any
+  registered method's accuracy knob.
+"""
+
+from repro.service.adaptive import RefinedTopK, refine_top_k
+from repro.service.planner import (
+    ROUTE_CACHED,
+    ROUTE_CACHED_DERIVED,
+    ROUTE_DERIVED,
+    ROUTE_NATIVE,
+    QueryOutcome,
+    QueryPlan,
+    QueryPlanner,
+    ResultCache,
+)
+from repro.service.queries import (
+    Query,
+    QueryResult,
+    SinglePairQuery,
+    SingleSourceQuery,
+    TopKQuery,
+    query_from_dict,
+    query_to_dict,
+    result_to_dict,
+)
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "QueryOutcome",
+    "QueryPlan",
+    "QueryPlanner",
+    "RefinedTopK",
+    "ResultCache",
+    "ROUTE_CACHED",
+    "ROUTE_CACHED_DERIVED",
+    "ROUTE_DERIVED",
+    "ROUTE_NATIVE",
+    "SinglePairQuery",
+    "SingleSourceQuery",
+    "TopKQuery",
+    "query_from_dict",
+    "query_to_dict",
+    "refine_top_k",
+    "result_to_dict",
+]

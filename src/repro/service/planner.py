@@ -1,0 +1,493 @@
+"""Capability-aware query planner and caching executor.
+
+The planner is the serving layer's brain: callers hand it typed queries
+(:mod:`repro.service.queries`) and it decides, per query, the cheapest
+capable path:
+
+1. **Result cache** — an LRU over answered queries; a repeated query returns
+   without touching the compute substrate, and a cached *single-source
+   vector* also answers any pair/top-k query on the same source for free
+   (``cached-derived``).
+2. **Native path** — methods declare what they answer natively
+   (:attr:`~repro.baselines.base.SimRankAlgorithm.native_capabilities`);
+   a pair query on ExactSim runs only the pair-local phases, a top-k query
+   on SLING stops accumulating levels once the k-th gap is certified.
+3. **Derived fallback** — everything else is derived from a single-source
+   pass, and :meth:`QueryPlanner.answer` *coalesces* the single-source work
+   of a whole batch into the vectorized ``single_source_batch`` micro-batch
+   (one batch per method), so concurrent requests on one graph share their
+   CSR passes exactly as the experiment harness does.
+
+Routing between native and coalesced-derived paths uses cost hints: static
+seeds from the graph's size (a native pair is assumed to cost a fraction of
+a full pass) refined by the *observed* per-route seconds of earlier queries,
+so a planner serving traffic converges to measured routing.
+
+Index-based methods auto-load their persisted index from ``index_dir`` on
+first touch (falling back to a build when the file is missing or stale, and
+optionally saving it back with ``save_indices=True``) — the PR-2 persistent
+index store becomes transparent to the serving path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.algorithms import registry
+from repro.baselines.base import (
+    QUERY_SINGLE_PAIR,
+    QUERY_TOP_K,
+    IndexPersistenceError,
+    SimRankAlgorithm,
+)
+from repro.core.result import SinglePairResult, SingleSourceResult
+from repro.graph.context import GraphContext
+from repro.graph.digraph import DiGraph
+from repro.service.queries import (
+    KIND_SINGLE_PAIR,
+    KIND_SINGLE_SOURCE,
+    KIND_TOP_K,
+    Query,
+    QueryResult,
+    SinglePairQuery,
+    SingleSourceQuery,
+    TopKQuery,
+)
+
+#: Routes a plan can take (``route`` field of :class:`QueryPlan`).
+ROUTE_CACHED = "cached"
+ROUTE_CACHED_DERIVED = "cached-derived"
+ROUTE_NATIVE = "native"
+ROUTE_DERIVED = "derived"
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How one query will be (or was) executed."""
+
+    method: str
+    kind: str
+    route: str
+    #: Estimated cost in seconds (observed average when available, static
+    #: graph-size seed otherwise); 0.0 for cache routes.
+    cost_hint: float = 0.0
+    #: True when the derived single-source work rode a coalesced micro-batch.
+    batched: bool = False
+
+
+@dataclass
+class QueryOutcome:
+    """A plan plus the result it produced."""
+
+    query: Query
+    plan: QueryPlan
+    result: QueryResult
+
+    @property
+    def cached(self) -> bool:
+        return self.plan.route in (ROUTE_CACHED, ROUTE_CACHED_DERIVED)
+
+
+class ResultCache:
+    """A byte-unaware LRU mapping query keys to results."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, QueryResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[QueryResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: QueryResult) -> None:
+        if self.max_entries == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class QueryPlanner:
+    """Routes typed queries over the algorithm registry for one graph.
+
+    Parameters
+    ----------
+    graph / context:
+        The served graph and its shared :class:`GraphContext` (defaulting to
+        the process-wide shared context, so planner instances and direct
+        algorithm use share transition matrices).
+    default_method:
+        Registry name answering queries that do not name a method.
+    method_configs:
+        Per-method config dicts applied when the planner constructs an
+        instance (e.g. ``{"exactsim": {"epsilon": 1e-3, "seed": 7}}``).
+    cache_entries:
+        LRU capacity of the result cache (0 disables caching).
+    index_dir / save_indices:
+        When ``index_dir`` is set, persistable methods load their index from
+        ``<index_dir>/<graph>.<method>.npz`` on first touch instead of
+        rebuilding; with ``save_indices=True`` a freshly built index is
+        saved there for the next process.
+    """
+
+    def __init__(self, graph: DiGraph, *, context: Optional[GraphContext] = None,
+                 default_method: str = "exactsim",
+                 method_configs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+                 cache_entries: int = 256,
+                 index_dir: Optional[PathLike] = None,
+                 save_indices: bool = False):
+        self.graph = graph
+        self.context = context if context is not None else GraphContext.shared(graph)
+        self.default_method = default_method
+        self._configs: Dict[str, Dict[str, Any]] = {
+            name: dict(config) for name, config in (method_configs or {}).items()}
+        self.cache = ResultCache(cache_entries)
+        self.index_dir = Path(index_dir) if index_dir is not None else None
+        self.save_indices = save_indices
+        self._instances: Dict[Hashable, SimRankAlgorithm] = {}
+        # Methods whose freshly built index should be persisted once an
+        # actual query forces the build (never eagerly at construction).
+        self._pending_saves: set = set()
+        # Observed (total_seconds, count) per (method, kind, route): the
+        # planner's cost model starts from static graph-size seeds and
+        # converges to these measurements as traffic flows.
+        self._observations: Dict[Tuple[str, str, str], Tuple[float, int]] = {}
+        self._counters: Dict[str, int] = {
+            "queries": 0, "native_routes": 0, "derived_routes": 0,
+            "cache_routes": 0, "coalesced_batches": 0, "coalesced_queries": 0,
+            "index_loads": 0, "index_builds_saved": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # algorithm instances
+    # ------------------------------------------------------------------ #
+    def register(self, algorithm: SimRankAlgorithm,
+                 name: Optional[str] = None) -> str:
+        """Adopt a pre-built algorithm instance (harness/example entry point).
+
+        The instance answers every query naming ``name`` (default: the
+        algorithm's own ``name``); its graph must be the planner's.
+        """
+        if algorithm.graph is not self.graph and algorithm.graph != self.graph:
+            raise ValueError("algorithm was built for a different graph")
+        key = name if name is not None else algorithm.name
+        self._instances[(key, None)] = algorithm
+        return key
+
+    def instance(self, method: Optional[str] = None,
+                 config: Optional[Mapping[str, Any]] = None) -> SimRankAlgorithm:
+        """The (cached) algorithm instance answering ``method`` queries.
+
+        ``config`` overrides the planner's per-method config for this
+        instance (used by the adaptive top-k refinement, which sweeps the
+        accuracy knob); instances are cached per (method, config).  On first
+        construction of a persistable method the planner auto-loads its
+        persisted index from ``index_dir`` (and otherwise saves a freshly
+        built one there when ``save_indices`` is set).
+        """
+        method = method if method is not None else self.default_method
+        if config is None and (method, None) in self._instances:
+            return self._instances[(method, None)]
+        merged = dict(self._configs.get(method, {}))
+        if config is not None:
+            merged.update(config)
+        key = (method, tuple(sorted(merged.items())))
+        algorithm = self._instances.get(key)
+        if algorithm is None:
+            algorithm = registry.create(method, self.graph, merged,
+                                        context=self.context)
+            self._maybe_load_index(method, algorithm)
+            self._instances[key] = algorithm
+            if config is None:
+                self._instances[(method, None)] = algorithm
+        return algorithm
+
+    def _maybe_load_index(self, method: str, algorithm: SimRankAlgorithm) -> None:
+        if self.index_dir is None or not registry.get_spec(method).supports_persistence:
+            return
+        path = self.index_dir / f"{self.graph.name}.{method}.npz"
+        if path.exists():
+            try:
+                algorithm.load_index(path)
+                self._counters["index_loads"] += 1
+                return
+            except IndexPersistenceError:
+                # Stale/mismatched file: fall through to a fresh build.
+                pass
+        if self.save_indices:
+            self._pending_saves.add(method)
+
+    def _flush_pending_save(self, method: str,
+                            algorithm: SimRankAlgorithm) -> None:
+        """Persist a freshly built index once a query has paid for the build."""
+        if method in self._pending_saves and algorithm.prepared \
+                and self.index_dir is not None:
+            algorithm.save_index(self.index_dir
+                                 / f"{self.graph.name}.{method}.npz")
+            self._pending_saves.discard(method)
+            self._counters["index_builds_saved"] += 1
+
+    # ------------------------------------------------------------------ #
+    # cost model
+    # ------------------------------------------------------------------ #
+    #: Static seed ratios: the assumed cost of a native path relative to a
+    #: full single-source pass, before any observation exists.
+    _NATIVE_SEED_RATIO = {KIND_SINGLE_PAIR: 0.5, KIND_TOP_K: 0.8}
+
+    def _seed_cost(self) -> float:
+        """Static single-source cost seed from the graph's size (seconds).
+
+        Calibrated to the pure-Python substrate: roughly 50 ns per edge per
+        hop level with ~15 levels.  Only the *ratios* between routes matter
+        for planning; observations replace the seed after the first query.
+        """
+        return 7.5e-7 * (self.graph.num_edges + self.graph.num_nodes)
+
+    def _observe(self, method: str, kind: str, route: str, seconds: float) -> None:
+        key = (method, kind, route)
+        total, count = self._observations.get(key, (0.0, 0))
+        self._observations[key] = (total + max(seconds, 0.0), count + 1)
+
+    def _expected_cost(self, method: str, kind: str, route: str) -> float:
+        observed = self._observations.get((method, kind, route))
+        if observed is not None and observed[1] > 0:
+            return observed[0] / observed[1]
+        base = self._seed_cost()
+        if route == ROUTE_NATIVE:
+            return base * self._NATIVE_SEED_RATIO.get(kind, 1.0)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def _method_of(self, query: Query) -> str:
+        return query.method if query.method is not None else self.default_method
+
+    @staticmethod
+    def _cache_key(method: str, query: Query) -> Hashable:
+        if isinstance(query, SinglePairQuery):
+            return (KIND_SINGLE_PAIR, method, query.source, query.target)
+        if isinstance(query, TopKQuery):
+            return (KIND_TOP_K, method, query.source, query.k)
+        return (KIND_SINGLE_SOURCE, method, query.source)
+
+    @staticmethod
+    def _source_key(method: str, source: int) -> Hashable:
+        return (KIND_SINGLE_SOURCE, method, source)
+
+    def plan(self, query: Query) -> QueryPlan:
+        """The route :meth:`execute` would take for ``query`` right now."""
+        method = self._method_of(query)
+        if self.cache.max_entries:
+            if self._peek(self._cache_key(method, query)):
+                return QueryPlan(method=method, kind=query.kind, route=ROUTE_CACHED)
+            if query.kind != KIND_SINGLE_SOURCE \
+                    and self._peek(self._source_key(method, query.source)):
+                return QueryPlan(method=method, kind=query.kind,
+                                 route=ROUTE_CACHED_DERIVED)
+        algorithm = self.instance(method)
+        if query.kind in algorithm.native_capabilities:
+            return QueryPlan(method=method, kind=query.kind, route=ROUTE_NATIVE,
+                             cost_hint=self._expected_cost(method, query.kind,
+                                                           ROUTE_NATIVE))
+        return QueryPlan(method=method, kind=query.kind, route=ROUTE_DERIVED,
+                         cost_hint=self._expected_cost(method, query.kind,
+                                                       ROUTE_DERIVED))
+
+    def _peek(self, key: Hashable) -> bool:
+        """Cache membership without perturbing LRU order or hit counters."""
+        return key in self.cache._entries
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, query: Query) -> QueryOutcome:
+        """Answer one query on the cheapest capable path."""
+        return self.answer([query])[0]
+
+    def answer(self, queries: Sequence[Query]) -> List[QueryOutcome]:
+        """Answer a batch, coalescing shared single-source work.
+
+        Resolution order per query: exact cache hit → derivation from a
+        cached single-source vector → native path → derived.  All *derived*
+        queries of one method pool their distinct sources into a single
+        ``single_source_batch`` call (the same micro-batch the experiment
+        harness issues), and every vector computed that way lands in the
+        cache, so later queries in the same batch — and subsequent batches —
+        reuse it.
+        """
+        outcomes: List[Optional[QueryOutcome]] = [None] * len(queries)
+        # (method -> source -> positions) of queries whose answer must come
+        # from a full single-source vector.
+        pending: Dict[str, Dict[int, List[int]]] = {}
+        for position, query in enumerate(queries):
+            self._counters["queries"] += 1
+            method = self._method_of(query)
+            key = self._cache_key(method, query)
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._counters["cache_routes"] += 1
+                outcomes[position] = QueryOutcome(
+                    query=query, plan=QueryPlan(method=method, kind=query.kind,
+                                                route=ROUTE_CACHED),
+                    result=hit)
+                continue
+            if query.kind != KIND_SINGLE_SOURCE:
+                vector = self.cache.get(self._source_key(method, query.source))
+                if vector is not None:
+                    assert isinstance(vector, SingleSourceResult)
+                    self._counters["cache_routes"] += 1
+                    result = self._derive(query, vector)
+                    self.cache.put(key, result)
+                    outcomes[position] = QueryOutcome(
+                        query=query,
+                        plan=QueryPlan(method=method, kind=query.kind,
+                                       route=ROUTE_CACHED_DERIVED),
+                        result=result)
+                    continue
+            algorithm = self.instance(method)
+            if self._route_native(query, algorithm, queries):
+                result = self._execute_native(query, algorithm)
+                self._flush_pending_save(method, algorithm)
+                self.cache.put(key, result)
+                self._counters["native_routes"] += 1
+                self._observe(method, query.kind, ROUTE_NATIVE,
+                              result.query_seconds)
+                outcomes[position] = QueryOutcome(
+                    query=query,
+                    plan=QueryPlan(method=method, kind=query.kind,
+                                   route=ROUTE_NATIVE,
+                                   cost_hint=self._expected_cost(
+                                       method, query.kind, ROUTE_NATIVE)),
+                    result=result)
+                continue
+            pending.setdefault(method, {}).setdefault(
+                int(query.source), []).append(position)
+
+        # Coalesced derived execution: one micro-batch per method.
+        for method, by_source in pending.items():
+            algorithm = self.instance(method)
+            sources = sorted(by_source)
+            vectors = algorithm.single_source_batch(sources)
+            self._flush_pending_save(method, algorithm)
+            group_queries = sum(len(positions)
+                                for positions in by_source.values())
+            if len(sources) > 1 or group_queries > len(sources):
+                # Multiple sources shared one vectorized batch, or multiple
+                # queries shared one source's vector — either way the batch
+                # did less compute than its queries issued sequentially.
+                self._counters["coalesced_batches"] += 1
+                self._counters["coalesced_queries"] += group_queries
+            for source, vector in zip(sources, vectors):
+                self.cache.put(self._source_key(method, source), vector)
+                self._observe(method, KIND_SINGLE_SOURCE, ROUTE_DERIVED,
+                              vector.query_seconds)
+                for position in by_source[source]:
+                    query = queries[position]
+                    self._counters["derived_routes"] += 1
+                    result = (vector if query.kind == KIND_SINGLE_SOURCE
+                              else self._derive(query, vector))
+                    self.cache.put(self._cache_key(method, query), result)
+                    outcomes[position] = QueryOutcome(
+                        query=query,
+                        plan=QueryPlan(method=method, kind=query.kind,
+                                       route=ROUTE_DERIVED,
+                                       cost_hint=self._expected_cost(
+                                           method, KIND_SINGLE_SOURCE,
+                                           ROUTE_DERIVED),
+                                       batched=len(sources) > 1),
+                        result=result)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes            # type: ignore[return-value]
+
+    def _route_native(self, query: Query, algorithm: SimRankAlgorithm,
+                      batch: Sequence[Query]) -> bool:
+        """Whether ``query`` should take the native path (cost-aware).
+
+        A native-capable query normally does; the exception is a batch
+        carrying several pair/top-k queries for the *same* (method, source)
+        — there, one coalesced single-source pass answers all of them, so
+        the planner compares ``siblings × native_cost`` against one derived
+        pass and keeps the batch together when that is cheaper.
+        """
+        if query.kind not in algorithm.native_capabilities:
+            return False
+        method = self._method_of(query)
+        siblings = sum(
+            1 for other in batch
+            if other.kind == query.kind and other.source == query.source
+            and self._method_of(other) == method)
+        if siblings <= 1:
+            return True
+        native = self._expected_cost(method, query.kind, ROUTE_NATIVE)
+        derived = self._expected_cost(method, KIND_SINGLE_SOURCE, ROUTE_DERIVED)
+        return siblings * native < derived
+
+    def _execute_native(self, query: Query,
+                        algorithm: SimRankAlgorithm) -> QueryResult:
+        if isinstance(query, SinglePairQuery):
+            return algorithm.single_pair(query.source, query.target)
+        assert isinstance(query, TopKQuery)
+        return algorithm.top_k(query.source, query.k)
+
+    @staticmethod
+    def _derive(query: Query, vector: SingleSourceResult) -> QueryResult:
+        if isinstance(query, SinglePairQuery):
+            return SinglePairResult.from_single_source(vector, query.target)
+        assert isinstance(query, TopKQuery)
+        answer = vector.top_k(query.k)
+        answer.query_seconds = vector.query_seconds
+        return answer
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def routing_table(self) -> List[Dict[str, str]]:
+        """One row per registered method: how each query kind would route."""
+        rows = []
+        for name in registry.available():
+            capabilities = self.instance(name).capabilities()
+            rows.append({"method": name, **capabilities})
+        return rows
+
+    def stats(self) -> Dict[str, float]:
+        """Serving counters plus cache hit/miss totals."""
+        snapshot: Dict[str, float] = {key: float(value)
+                                      for key, value in self._counters.items()}
+        snapshot["cache_hits"] = float(self.cache.hits)
+        snapshot["cache_misses"] = float(self.cache.misses)
+        snapshot["cache_entries"] = float(len(self.cache))
+        return snapshot
+
+
+__all__ = [
+    "QueryPlan",
+    "QueryOutcome",
+    "QueryPlanner",
+    "ResultCache",
+    "ROUTE_CACHED",
+    "ROUTE_CACHED_DERIVED",
+    "ROUTE_NATIVE",
+    "ROUTE_DERIVED",
+]

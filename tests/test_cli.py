@@ -172,3 +172,80 @@ class TestIndexCommands:
                      "--param", "bogus=1", "--path", str(tmp_path / "x.npz")])
         assert code == 2
         assert "does not accept" in capsys.readouterr().err
+
+
+class TestAnswerCommand:
+    @staticmethod
+    def _write_queries(tmp_path, lines):
+        path = tmp_path / "queries.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_answer_stream_all_query_types(self, tmp_path, capsys):
+        import json
+
+        path = self._write_queries(tmp_path, [
+            '{"type": "single_source", "source": 3}',
+            '{"type": "single_pair", "source": 3, "target": 7}',
+            '{"type": "top_k", "source": 3, "k": 4}',
+            '{"type": "single_pair", "source": 5, "target": 9, "method": "sling"}',
+            '# a comment line is skipped',
+            '{"type": "single_pair", "source": 3, "target": 7}',
+        ])
+        code = main(["answer", "--dataset", "GQ", "--method", "parsim",
+                     "--queries", path, "--epsilon", "1e-1", "--seed", "1",
+                     "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert len(lines) == 5
+        assert lines[0]["type"] == "single_source" and lines[0]["route"] == "derived"
+        assert lines[1]["type"] == "single_pair" and lines[1]["method"] == "parsim"
+        assert lines[2]["type"] == "top_k" and len(lines[2]["nodes"]) == 4
+        assert lines[3]["method"] == "sling" and lines[3]["route"] == "native"
+        # The repeated pair of the same batch shares the coalesced vector;
+        # its answer must equal the first occurrence's.
+        assert lines[4]["score"] == lines[1]["score"]
+        assert "serving stats" in captured.err
+
+    def test_answer_repeat_batches_hit_the_cache(self, tmp_path, capsys):
+        import json
+
+        path = self._write_queries(tmp_path, [
+            '{"type": "top_k", "source": 3, "k": 3}',
+            '{"type": "top_k", "source": 3, "k": 3}',
+        ])
+        code = main(["answer", "--dataset", "GQ", "--method", "parsim",
+                     "--queries", path, "--batch-size", "1"])
+        assert code == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert lines[0]["route"] == "derived"
+        assert lines[1]["route"] == "cached"
+        assert lines[0]["nodes"] == lines[1]["nodes"]
+
+    def test_answer_reports_bad_lines_and_continues(self, tmp_path, capsys):
+        import json
+
+        path = self._write_queries(tmp_path, [
+            'not json at all',
+            '{"type": "bogus", "source": 1}',
+            '{"type": "single_pair", "source": 1, "target": 999999}',
+            '{"type": "top_k", "source": 1, "k": 0}',
+            '{"type": "top_k", "source": 1, "method": "no-such"}',
+            '{"type": "single_pair", "source": 1, "target": 2}',
+        ])
+        code = main(["answer", "--dataset", "GQ", "--method", "parsim",
+                     "--queries", path])
+        assert code == 1                     # partial failure
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        # Output line N answers input line N: the five bad lines come out as
+        # error objects in position, the valid pair last.
+        assert ["error" in line for line in lines] == [True] * 5 + [False]
+        assert lines[5]["type"] == "single_pair"
+
+    def test_answer_rejects_bad_batch_size(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, ['{"type": "top_k", "source": 1}'])
+        code = main(["answer", "--dataset", "GQ", "--queries", path,
+                     "--batch-size", "0"])
+        assert code == 2
+        assert "batch-size" in capsys.readouterr().err
