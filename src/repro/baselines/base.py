@@ -37,6 +37,9 @@ way:
 from __future__ import annotations
 
 import abc
+import os
+import zipfile
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -50,7 +53,8 @@ if TYPE_CHECKING:  # imported lazily to keep baselines ↔ core import-cycle fre
     from repro.core.result import SinglePairResult, SingleSourceResult, TopKResult
 
 #: Version tag written into every index file; bumped on layout changes.
-INDEX_FORMAT_VERSION = 1
+#: Version 2 added per-array checksums to the envelope.
+INDEX_FORMAT_VERSION = 2
 
 PathLike = Union[str, Path]
 
@@ -67,6 +71,19 @@ QUERY_KINDS = (QUERY_SINGLE_SOURCE, QUERY_SINGLE_PAIR, QUERY_TOP_K)
 
 class IndexPersistenceError(RuntimeError):
     """Raised when an index cannot be saved or loaded."""
+
+
+def _array_checksum(array: np.ndarray) -> int:
+    """CRC-32 over an array's dtype, shape and raw bytes.
+
+    Catches the corruption modes an intact zip container can still hide
+    (bit flips inside a stored-uncompressed member, a member swapped between
+    two valid files) on top of the truncation errors the container itself
+    reports.
+    """
+    array = np.ascontiguousarray(array)
+    header = f"{array.dtype.str}|{array.shape}".encode()
+    return zlib.crc32(array.tobytes(), zlib.crc32(header)) & 0xFFFFFFFF
 
 
 class SimRankAlgorithm(abc.ABC):
@@ -195,10 +212,16 @@ class SimRankAlgorithm(abc.ABC):
         """Persist the method's index to ``path`` (npz), preprocessing if needed.
 
         The file carries the algorithm name, decay, a fingerprint of the
-        graph and the recorded preprocessing time, all of which
-        :meth:`load_index` verifies — loading a PRSim index into SLING, or an
-        index built on a different graph, fails loudly instead of silently
-        returning wrong scores.
+        graph, the recorded preprocessing time and a per-array checksum
+        table, all of which :meth:`load_index` verifies — loading a PRSim
+        index into SLING, an index built on a different graph, or a file
+        corrupted at rest fails loudly instead of silently returning wrong
+        scores.
+
+        The write is crash-safe: the npz is assembled in a temporary file in
+        the target directory, fsynced, and atomically renamed over ``path``
+        (``os.replace``), so a crash — even SIGKILL — mid-save leaves either
+        the previous index bit-identical or the new one, never a torn file.
         """
         if not self.index_based:
             raise IndexPersistenceError(
@@ -215,51 +238,126 @@ class SimRankAlgorithm(abc.ABC):
         overlap = set(envelope) & set(payload)
         if overlap:
             raise IndexPersistenceError(f"payload uses reserved keys {sorted(overlap)}")
+        checked = {**envelope, **payload}
+        envelope["_meta_checksum_keys"] = np.array(sorted(checked))
+        envelope["_meta_checksum_values"] = np.array(
+            [_array_checksum(np.asarray(checked[key]))
+             for key in sorted(checked)], dtype=np.uint32)
         path = Path(path)
         if path.suffix != ".npz":
             # np.savez would silently append the suffix; normalize first so
             # the returned path is the file actually written.
             path = path.with_name(path.name + ".npz")
         path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(path, **envelope, **payload)
+        tmp_path = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.savez_compressed(handle, **envelope, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise
+        try:
+            # Persist the rename itself; not all filesystems support
+            # fsyncing a directory, so failures here are non-fatal.
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
         return path
 
     def load_index(self, path: PathLike) -> "SimRankAlgorithm":
         """Load an index previously written by :meth:`save_index`.
 
-        Verifies the format version, algorithm name, decay and graph
-        fingerprint before handing the payload to the subclass, then marks
-        the instance prepared.  Returns ``self``.
+        Verifies the format version, per-array checksums, algorithm name,
+        decay and graph fingerprint before handing the payload to the
+        subclass, then marks the instance prepared.  Returns ``self``.
+
+        Truncated, garbage or internally inconsistent files surface as
+        :class:`IndexPersistenceError` naming the path — never as a raw
+        ``zipfile``/``numpy`` exception the caller has to know about.  A
+        missing file keeps raising :class:`FileNotFoundError` (absence is a
+        different condition from corruption and callers branch on it).
         """
         if not self.index_based:
             raise IndexPersistenceError(
                 f"{self.name} is index-free; there is no index to load")
         path = Path(path)
-        with np.load(path, allow_pickle=False) as data:
-            payload = {key: data[key] for key in data.files}
-        version = int(payload.pop("_meta_version", -1))
-        if version != INDEX_FORMAT_VERSION:
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                payload = {key: data[key] for key in data.files}
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as error:
             raise IndexPersistenceError(
-                f"{path}: unsupported index format version {version} "
-                f"(expected {INDEX_FORMAT_VERSION})")
-        algorithm = str(payload.pop("_meta_algorithm"))
-        if algorithm != self.name:
+                f"{path}: index file is corrupt or unreadable ({error})") from error
+        try:
+            version = int(payload.pop("_meta_version", -1))
+            if version != INDEX_FORMAT_VERSION:
+                raise IndexPersistenceError(
+                    f"{path}: unsupported index format version {version} "
+                    f"(expected {INDEX_FORMAT_VERSION})")
+            self._verify_checksums(path, payload)
+            algorithm = str(payload.pop("_meta_algorithm"))
+            if algorithm != self.name:
+                raise IndexPersistenceError(
+                    f"{path}: index was built by {algorithm!r}, not {self.name!r}")
+            decay = float(payload.pop("_meta_decay"))
+            if not np.isclose(decay, self.decay):
+                raise IndexPersistenceError(
+                    f"{path}: index was built with decay {decay}, "
+                    f"instance uses {self.decay}")
+            fingerprint = payload.pop("_meta_fingerprint")
+            if not np.array_equal(fingerprint, self.graph.fingerprint()):
+                raise IndexPersistenceError(
+                    f"{path}: index was built on a different graph")
+            preprocessing_seconds = float(payload.pop("_meta_preprocessing_seconds"))
+            self._restore_index(payload)
+        except IndexPersistenceError:
+            raise
+        except (KeyError, ValueError, TypeError) as error:
+            # A malformed payload that passed the container checks: missing
+            # keys or arrays the subclass cannot interpret.
             raise IndexPersistenceError(
-                f"{path}: index was built by {algorithm!r}, not {self.name!r}")
-        decay = float(payload.pop("_meta_decay"))
-        if not np.isclose(decay, self.decay):
-            raise IndexPersistenceError(
-                f"{path}: index was built with decay {decay}, "
-                f"instance uses {self.decay}")
-        fingerprint = payload.pop("_meta_fingerprint")
-        if not np.array_equal(fingerprint, self.graph.fingerprint()):
-            raise IndexPersistenceError(
-                f"{path}: index was built on a different graph")
-        preprocessing_seconds = float(payload.pop("_meta_preprocessing_seconds"))
-        self._restore_index(payload)
+                f"{path}: index payload is malformed ({error})") from error
         self.preprocessing_seconds = preprocessing_seconds
         self._prepared = True
         return self
+
+    @staticmethod
+    def _verify_checksums(path: Path, payload: Dict[str, np.ndarray]) -> None:
+        """Check every stored array against the envelope's checksum table."""
+        keys = payload.pop("_meta_checksum_keys", None)
+        values = payload.pop("_meta_checksum_values", None)
+        if keys is None or values is None:
+            raise IndexPersistenceError(
+                f"{path}: index file carries no checksum table")
+        keys = [str(key) for key in np.asarray(keys).tolist()]
+        values = np.asarray(values, dtype=np.uint64).tolist()
+        if len(keys) != len(values):
+            raise IndexPersistenceError(
+                f"{path}: checksum table is internally inconsistent")
+        expected = dict(zip(keys, values))
+        missing = sorted(set(expected) - set(payload) - {"_meta_version"})
+        if missing:
+            raise IndexPersistenceError(
+                f"{path}: index file is missing checksummed arrays {missing}")
+        for key, array in payload.items():
+            if key not in expected:
+                raise IndexPersistenceError(
+                    f"{path}: array {key!r} has no recorded checksum")
+            if _array_checksum(np.asarray(array)) != expected[key]:
+                raise IndexPersistenceError(
+                    f"{path}: checksum mismatch for array {key!r} "
+                    "(file corrupted at rest)")
 
     # ------------------------------------------------------------------ #
     # accounting

@@ -23,8 +23,8 @@ from repro.core.result import SingleSourceResult, TopKResult, top_k_set_certifie
 from repro.diagonal.basic import estimate_diagonal_basic
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
-from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.randomwalk.engine import SqrtCWalkEngine
+from repro.utils.deadline import active_deadline
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Timer
 from repro.utils.validation import check_node_index, check_positive_int
@@ -89,23 +89,47 @@ class LinearizationSimRank(SimRankAlgorithm):
         self.ensure_prepared()
         assert self._diagonal is not None
         timer = Timer()
+        iterations = self.num_iterations()
+        depth = iterations
+        bound = 0.0
         with timer:
-            iterations = self.num_iterations()
-            hop_ppr = hop_ppr_vectors(self.graph, source, iterations, decay=self.decay,
-                                      operator=self._operator)
+            deadline = active_deadline()
             sqrt_c = self._operator.sqrt_c
-            scale = 1.0 / (1.0 - sqrt_c)
-            current = scale * self._diagonal * hop_ppr.hop_dense(iterations)
-            for level in range(1, iterations + 1):
+            residual = 1.0 - sqrt_c
+            scale = 1.0 / residual
+            # Hop building is the truncation point under a deadline: the
+            # back-substitution consumes hops deepest-first, so its prefix is
+            # *not* a valid partial answer, but running the full substitution
+            # at a shallower depth d is — below the true answer by at most
+            # max(D)·‖walk_{d+1}‖₁·(√c)^{d+1}/(1 − c) (the :meth:`top_k`
+            # tail).  Hop 0 always completes, so the overrun past an expired
+            # deadline is one back-substitution at the truncated depth.
+            hops: List[np.ndarray] = []
+            walk = np.zeros(self.graph.num_nodes, dtype=np.float64)
+            walk[source] = 1.0
+            for level in range(iterations + 1):
+                if deadline is not None and level > 0 and deadline.expired():
+                    depth = level - 1
+                    bound = (float(self._diagonal.max()) * float(walk.sum())
+                             * sqrt_c ** (depth + 1) / (1.0 - self.decay))
+                    break
+                hops.append(residual * walk)
+                walk = self._operator.decayed_backward(walk)
+            current = scale * self._diagonal * hops[depth]
+            for level in range(1, depth + 1):
                 current = self._operator.decayed_forward(current)
-                current += scale * self._diagonal * hop_ppr.hop_dense(iterations - level)
+                current += scale * self._diagonal * hops[depth - level]
             np.clip(current, 0.0, 1.0, out=current)
+        stats = {"samples_per_node": float(self.samples_per_node),
+                 "iterations": float(depth),
+                 "index_bytes": float(self.index_bytes())}
+        if depth < iterations:
+            stats["degraded"] = 1.0
+            stats["certified_bound"] = bound
         return SingleSourceResult(source=source, scores=current, algorithm=self.name,
                                   query_seconds=timer.elapsed,
                                   preprocessing_seconds=self.preprocessing_seconds,
-                                  stats={"samples_per_node": float(self.samples_per_node),
-                                         "iterations": float(iterations),
-                                         "index_bytes": float(self.index_bytes())})
+                                  stats=stats)
 
     def top_k(self, source: int, k: int = 500) -> TopKResult:
         """Top-k at an adaptive truncation depth.
@@ -125,7 +149,11 @@ class LinearizationSimRank(SimRankAlgorithm):
         assert self._diagonal is not None
         timer = Timer()
         full_depth = self.num_iterations()
+        set_certified = False
+        degraded = False
+        bound = 0.0
         with timer:
+            deadline = active_deadline()
             sqrt_c = self._operator.sqrt_c
             residual = 1.0 - sqrt_c
             scale = 1.0 / residual
@@ -151,6 +179,13 @@ class LinearizationSimRank(SimRankAlgorithm):
                 tail = (float(self._diagonal.max()) * float(walk.sum())
                         * sqrt_c ** (depth + 1) / (1.0 - self.decay))
                 if top_k_set_certified(current, k, tail, exclude=source):
+                    set_certified = True
+                    break
+                if deadline is not None and deadline.expired():
+                    # Degraded stop at the depth boundary: the depth-d answer
+                    # stands, with the same suffix tail as its error bound.
+                    degraded = True
+                    bound = tail
                     break
                 depth = min(2 * depth, full_depth)
             np.clip(current, 0.0, 1.0, out=current)
@@ -159,7 +194,10 @@ class LinearizationSimRank(SimRankAlgorithm):
         answer.query_seconds = timer.elapsed
         answer.stats = {"native_top_k": 1.0, "depth_used": float(depth),
                         "depth_total": float(full_depth),
-                        "certified": float(depth < full_depth)}
+                        "certified": float(set_certified)}
+        if degraded:
+            answer.stats["degraded"] = 1.0
+            answer.stats["certified_bound"] = float(bound)
         return answer
 
     #: Sources processed per batched-query chunk: the batch keeps
@@ -190,32 +228,54 @@ class LinearizationSimRank(SimRankAlgorithm):
         diagonal = self._diagonal[:, np.newaxis]
         timer = Timer()
         columns: List[np.ndarray] = []
+        bounds = np.zeros(len(source_ids), dtype=np.float64)
+        depths = np.full(len(source_ids), iterations, dtype=np.int64)
         with timer:
+            deadline = active_deadline()
             for chunk_start in range(0, len(source_ids), self._BATCH_CHUNK):
                 chunk = source_ids[chunk_start:chunk_start + self._BATCH_CHUNK]
                 planes = np.zeros((self.graph.num_nodes, len(chunk)),
                                   dtype=np.float64)
                 planes[chunk, np.arange(len(chunk))] = 1.0
                 hops: List[np.ndarray] = []
-                for _ in range(iterations + 1):
+                depth = iterations
+                for level in range(iterations + 1):
+                    if deadline is not None and level > 0 and deadline.expired():
+                        # Truncate this chunk's depth (see single_source);
+                        # the per-source bound uses each column's own
+                        # surviving walk mass.
+                        depth = level - 1
+                        window = slice(chunk_start, chunk_start + len(chunk))
+                        depths[window] = depth
+                        bounds[window] = (float(self._diagonal.max())
+                                          * planes.sum(axis=0)
+                                          * sqrt_c ** (depth + 1)
+                                          / (1.0 - self.decay))
+                        break
                     hops.append(residual * planes)
                     planes = sqrt_c * (self._operator.matrix @ planes)
-                current = scale * diagonal * hops[iterations]
-                for level in range(1, iterations + 1):
+                current = scale * diagonal * hops[depth]
+                for level in range(1, depth + 1):
                     current = sqrt_c * (self._operator.matrix_t @ current)
-                    current += scale * diagonal * hops[iterations - level]
+                    current += scale * diagonal * hops[depth - level]
                 np.clip(current, 0.0, 1.0, out=current)
                 columns.extend(current[:, position].copy()
                                for position in range(len(chunk)))
         share = timer.elapsed / len(source_ids)
-        return [SingleSourceResult(
-            source=source, scores=scores, algorithm=self.name,
-            query_seconds=share,
-            preprocessing_seconds=self.preprocessing_seconds,
-            stats={"samples_per_node": float(self.samples_per_node),
-                   "iterations": float(iterations),
-                   "index_bytes": float(self.index_bytes())})
-            for source, scores in zip(source_ids, columns)]
+        results: List[SingleSourceResult] = []
+        for position, (source, scores) in enumerate(zip(source_ids, columns)):
+            stats = {"samples_per_node": float(self.samples_per_node),
+                     "iterations": float(depths[position]),
+                     "index_bytes": float(self.index_bytes())}
+            if depths[position] < iterations:
+                stats["degraded"] = 1.0
+                stats["certified_bound"] = float(bounds[position])
+            results.append(SingleSourceResult(
+                source=source, scores=scores, algorithm=self.name,
+                query_seconds=share,
+                preprocessing_seconds=self.preprocessing_seconds,
+                stats=stats))
+        return results
 
     def index_bytes(self) -> int:
         return int(self._diagonal.nbytes) if self._diagonal is not None else 0

@@ -54,6 +54,7 @@ from repro.kernels.sparsevec import SparseVector
 from repro.ppr.hop_ppr import hop_ppr_vectors
 from repro.ppr.pagerank import pagerank
 from repro.randomwalk.engine import SqrtCWalkEngine
+from repro.utils.deadline import active_deadline
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Timer
 from repro.utils.validation import check_node_index, check_probability
@@ -321,8 +322,27 @@ class PRSim(SimRankAlgorithm):
             # threshold, restricted to nodes the source actually reaches.  All
             # candidate meeting nodes of a level are propagated simultaneously
             # through shared CSR slices by the batched frontier kernel.
-            coarse_threshold = (1.0 - self._operator.sqrt_c) * self.epsilon
+            # The hub read-off above is one cheap pass; the probe batches are
+            # the expensive part and each level's is a degraded-stop boundary:
+            # skipping the probes from level ℓ on leaves an error of at most
+            # Σ_{m ≥ ℓ} scale·(1 − √c)·(√c)^m·Σ_{probe k} π_i^m(k)·D(k) —
+            # the same per-level probe cap the top-k tails use.
+            deadline = active_deadline()
+            sqrt_c = self._operator.sqrt_c
+            residual = 1.0 - sqrt_c
+            coarse_threshold = residual * self.epsilon
+            probes_from = iterations + 1
+            bound = 0.0
             for level in range(iterations + 1):
+                if deadline is not None and level > 0 and deadline.expired():
+                    probes_from = level
+                    for skipped in range(level, iterations + 1):
+                        hop_vector = hop_ppr.hop_dense(skipped)
+                        mask = (hop_vector > coarse_threshold) & ~is_hub
+                        bound += (scale * residual * sqrt_c ** skipped
+                                  * float(np.sum(hop_vector[mask]
+                                                 * self._diagonal[mask])))
+                    break
                 hop_vector = hop_ppr.hop_dense(level)
                 candidates = np.flatnonzero((hop_vector > coarse_threshold) & ~is_hub)
                 if candidates.size == 0:
@@ -331,12 +351,18 @@ class PRSim(SimRankAlgorithm):
                                                hop_vector, coarse_threshold, scale)
             np.clip(scores, 0.0, 1.0, out=scores)
             scores[source] = 1.0
+        stats = {"epsilon": self.epsilon,
+                 "num_hubs": float(self._hubs.shape[0]),
+                 "index_bytes": float(self.index_bytes())}
+        if probes_from <= iterations:
+            stats["degraded"] = 1.0
+            stats["certified_bound"] = bound
+            stats["levels_used"] = float(probes_from)
+            stats["levels_total"] = float(iterations + 1)
         return SingleSourceResult(source=source, scores=scores, algorithm=self.name,
                                   query_seconds=timer.elapsed,
                                   preprocessing_seconds=self.preprocessing_seconds,
-                                  stats={"epsilon": self.epsilon,
-                                         "num_hubs": float(self._hubs.shape[0]),
-                                         "index_bytes": float(self.index_bytes())})
+                                  stats=stats)
 
     def _hub_level_maxima(self, iterations: int) -> np.ndarray:
         """Max stored index value per (hub position, level), cached per index.
@@ -427,8 +453,17 @@ class PRSim(SimRankAlgorithm):
             # tails[ℓ] = Σ_{m ≥ ℓ} T_m: the most the levels from ℓ on can add.
             tails = np.concatenate([np.cumsum(term_bounds[::-1])[::-1], [0.0]])
 
+            deadline = active_deadline()
+            degraded = False
+            set_certified = False
             scores = np.zeros(num_nodes, dtype=np.float64)
             for level in range(iterations + 1):
+                if deadline is not None and level > 0 and deadline.expired():
+                    # Degraded stop: the accumulated prefix stands, with the
+                    # remaining suffix tail as its certified error bound.
+                    levels_used = level
+                    degraded = True
+                    break
                 hop_vector = hops[level]
                 lo, hi = level_bounds[level], level_bounds[level + 1]
                 if hi > lo:
@@ -449,6 +484,7 @@ class PRSim(SimRankAlgorithm):
                         and top_k_set_certified(
                             scores, k, float(tails[level + 1]), exclude=source):
                     levels_used = level + 1
+                    set_certified = True
                     break
             np.clip(scores, 0.0, 1.0, out=scores)
             scores[source] = 1.0
@@ -457,7 +493,10 @@ class PRSim(SimRankAlgorithm):
         answer.query_seconds = timer.elapsed
         answer.stats = {"native_top_k": 1.0, "levels_used": float(levels_used),
                         "levels_total": float(iterations + 1),
-                        "certified": float(levels_used < iterations + 1)}
+                        "certified": float(set_certified)}
+        if degraded:
+            answer.stats["degraded"] = 1.0
+            answer.stats["certified_bound"] = float(tails[levels_used])
         return answer
 
     def _accumulate_reverse_batch(self, scores: np.ndarray, candidates: np.ndarray,

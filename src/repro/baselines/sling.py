@@ -46,6 +46,7 @@ from repro.diagonal.basic import estimate_diagonal_basic
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.randomwalk.engine import SqrtCWalkEngine
+from repro.utils.deadline import active_deadline
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Timer
 from repro.utils.validation import check_node_index
@@ -152,12 +153,22 @@ class SLING(SimRankAlgorithm):
         self.ensure_prepared()
         assert self._diagonal is not None
         timer = Timer()
+        num_levels = len(self._hop_matrices)
+        levels_used = num_levels
         with timer:
+            deadline = active_deadline()
             # With H_ℓ = (√c Pᵀ)^ℓ the identity (7) reduces to
             # S(i, j) = Σ_ℓ Σ_k H_ℓ[i, k] · D(k, k) · H_ℓ[j, k]:
             # the (1 − √c) factors of the two π^ℓ vectors cancel the 1/(1 − √c)².
+            # Every level term is non-negative, so stopping after level ℓ − 1
+            # under an expired deadline yields a certified *under*-estimate
+            # whose entrywise error is at most the remaining suffix tail —
+            # level 0 always completes, so a degraded answer is never empty.
             scores = np.zeros(self.graph.num_nodes, dtype=np.float64)
-            for hop_matrix in self._hop_matrices:
+            for level, hop_matrix in enumerate(self._hop_matrices):
+                if deadline is not None and level > 0 and deadline.expired():
+                    levels_used = level
+                    break
                 start, stop = hop_matrix.indptr[source], hop_matrix.indptr[source + 1]
                 if start == stop:
                     continue
@@ -166,14 +177,44 @@ class SLING(SimRankAlgorithm):
                 weighted[source_cols] = (hop_matrix.data[start:stop] *
                                          self._diagonal[source_cols])
                 scores += hop_matrix @ weighted
+            bound = 0.0
+            if levels_used < num_levels:
+                bound = self._truncation_tail(source, levels_used)
             np.clip(scores, 0.0, 1.0, out=scores)
             scores[source] = 1.0
+        stats = {"epsilon": self.epsilon,
+                 "samples_per_node": float(self.samples_per_node),
+                 "index_bytes": float(self.index_bytes())}
+        if levels_used < num_levels:
+            stats["degraded"] = 1.0
+            stats["certified_bound"] = bound
+            stats["levels_used"] = float(levels_used)
+            stats["levels_total"] = float(num_levels)
         return SingleSourceResult(source=source, scores=scores, algorithm=self.name,
                                   query_seconds=timer.elapsed,
                                   preprocessing_seconds=self.preprocessing_seconds,
-                                  stats={"epsilon": self.epsilon,
-                                         "samples_per_node": float(self.samples_per_node),
-                                         "index_bytes": float(self.index_bytes())})
+                                  stats=stats)
+
+    def _truncation_tail(self, source: int, from_level: int) -> float:
+        """Certified entrywise bound on Σ_{m ≥ from_level} of the level terms.
+
+        The level-m term of any entry is at most
+        Σ_k H_m[source, k]·D(k)·colmax_m(k) — the same per-level bound the
+        top-k early-stopping uses, evaluated here only for the levels a
+        degraded answer skipped.
+        """
+        assert self._diagonal is not None
+        colmax = self._level_column_maxima()
+        total = 0.0
+        for level in range(from_level, len(self._hop_matrices)):
+            hop_matrix = self._hop_matrices[level]
+            start, stop = hop_matrix.indptr[source], hop_matrix.indptr[source + 1]
+            if start == stop:
+                continue
+            cols = hop_matrix.indices[start:stop]
+            total += float(np.sum(hop_matrix.data[start:stop]
+                                  * self._diagonal[cols] * colmax[level][cols]))
+        return total
 
     def single_pair(self, source: int, target: int) -> SinglePairResult:
         """S(source, target) from the stored index: two row gathers per level.
@@ -252,7 +293,10 @@ class SLING(SimRankAlgorithm):
         timer = Timer()
         num_levels = len(self._hop_matrices)
         levels_used = num_levels
+        set_certified = False
+        degraded = False
         with timer:
+            deadline = active_deadline()
             colmax = self._level_column_maxima()
             term_bounds = np.empty(num_levels, dtype=np.float64)
             for level, hop_matrix in enumerate(self._hop_matrices):
@@ -266,6 +310,12 @@ class SLING(SimRankAlgorithm):
 
             scores = np.zeros(self.graph.num_nodes, dtype=np.float64)
             for level, hop_matrix in enumerate(self._hop_matrices):
+                if deadline is not None and level > 0 and deadline.expired():
+                    # Degraded stop: the accumulated prefix is a certified
+                    # under-estimate; tails[level] bounds the entrywise error.
+                    levels_used = level
+                    degraded = True
+                    break
                 start, stop = hop_matrix.indptr[source], hop_matrix.indptr[source + 1]
                 if start != stop:
                     source_cols = hop_matrix.indices[start:stop]
@@ -277,6 +327,7 @@ class SLING(SimRankAlgorithm):
                         and top_k_set_certified(
                             scores, k, float(tails[level + 1]), exclude=source):
                     levels_used = level + 1
+                    set_certified = True
                     break
             np.clip(scores, 0.0, 1.0, out=scores)
             scores[source] = 1.0
@@ -285,7 +336,10 @@ class SLING(SimRankAlgorithm):
         answer.query_seconds = timer.elapsed
         answer.stats = {"native_top_k": 1.0, "levels_used": float(levels_used),
                         "levels_total": float(num_levels),
-                        "certified": float(levels_used < num_levels)}
+                        "certified": float(set_certified)}
+        if degraded:
+            answer.stats["degraded"] = 1.0
+            answer.stats["certified_bound"] = float(tails[levels_used])
         return answer
 
     #: Sources processed per batched-query chunk: bounds the dense
@@ -310,13 +364,26 @@ class SLING(SimRankAlgorithm):
         self.ensure_prepared()
         assert self._diagonal is not None
         timer = Timer()
+        num_levels = len(self._hop_matrices)
         columns: List[np.ndarray] = []
+        bounds = np.zeros(len(source_ids), dtype=np.float64)
+        truncated_at = np.full(len(source_ids), num_levels, dtype=np.int64)
         with timer:
+            deadline = active_deadline()
             for chunk_start in range(0, len(source_ids), self._BATCH_CHUNK):
                 chunk = source_ids[chunk_start:chunk_start + self._BATCH_CHUNK]
                 scores = np.zeros((self.graph.num_nodes, len(chunk)),
                                   dtype=np.float64)
-                for hop_matrix in self._hop_matrices:
+                for level, hop_matrix in enumerate(self._hop_matrices):
+                    if deadline is not None and level > 0 and deadline.expired():
+                        # Degraded stop for this chunk: record the per-source
+                        # remaining-tail bounds (one sparse row-gather per
+                        # skipped level) and move on — later chunks still get
+                        # their level-0 term, so no source comes back empty.
+                        window = slice(chunk_start, chunk_start + len(chunk))
+                        truncated_at[window] = level
+                        bounds[window] = self._truncation_tail_batch(chunk, level)
+                        break
                     rows = hop_matrix[chunk]
                     if rows.nnz == 0:
                         continue
@@ -327,16 +394,34 @@ class SLING(SimRankAlgorithm):
                                for position in range(len(chunk)))
         share = timer.elapsed / len(source_ids)
         results: List[SingleSourceResult] = []
-        for source, scores in zip(source_ids, columns):
+        for position, (source, scores) in enumerate(zip(source_ids, columns)):
             scores[source] = 1.0
+            stats = {"epsilon": self.epsilon,
+                     "samples_per_node": float(self.samples_per_node),
+                     "index_bytes": float(self.index_bytes())}
+            if truncated_at[position] < num_levels:
+                stats["degraded"] = 1.0
+                stats["certified_bound"] = float(bounds[position])
+                stats["levels_used"] = float(truncated_at[position])
+                stats["levels_total"] = float(num_levels)
             results.append(SingleSourceResult(
                 source=source, scores=scores, algorithm=self.name,
                 query_seconds=share,
                 preprocessing_seconds=self.preprocessing_seconds,
-                stats={"epsilon": self.epsilon,
-                       "samples_per_node": float(self.samples_per_node),
-                       "index_bytes": float(self.index_bytes())}))
+                stats=stats))
         return results
+
+    def _truncation_tail_batch(self, chunk: List[int], from_level: int) -> np.ndarray:
+        """Per-source remaining-tail bounds for a degraded batch chunk."""
+        assert self._diagonal is not None
+        colmax = self._level_column_maxima()
+        totals = np.zeros(len(chunk), dtype=np.float64)
+        for level in range(from_level, len(self._hop_matrices)):
+            rows = self._hop_matrices[level][chunk]
+            if rows.nnz == 0:
+                continue
+            totals += rows @ (self._diagonal * colmax[level])
+        return totals
 
     def index_bytes(self) -> int:
         total = int(self._diagonal.nbytes) if self._diagonal is not None else 0

@@ -48,7 +48,13 @@ from repro.graph.context import GraphContext
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
-from repro.service import QueryPlanner, query_from_dict, result_to_dict
+from repro.service import (
+    FaultPlan,
+    QueryPlanner,
+    query_from_dict,
+    result_to_dict,
+    validate_query,
+)
 
 _FIGURE_DRIVERS = {
     "fig1": fig_error_vs_query_time,
@@ -130,6 +136,17 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="persist freshly built indices to --index-dir")
     answer_parser.add_argument("--stats", action="store_true",
                                help="print serving statistics to stderr at the end")
+    answer_parser.add_argument("--deadline-ms", type=float, default=None,
+                               help="per-route compute budget in milliseconds; "
+                                    "expired queries return degraded answers "
+                                    "with certified bounds where available, "
+                                    "structured timeouts otherwise")
+    answer_parser.add_argument("--max-errors", type=int, default=None,
+                               help="abort the stream once more than this many "
+                                    "lines have failed (default: never abort)")
+    answer_parser.add_argument("--fault-plan",
+                               help="JSON fault-injection plan for resilience "
+                                    "testing (see repro.service.faults)")
 
     index_parser = subparsers.add_parser(
         "index", help="build / load persisted indices of index-based methods")
@@ -188,8 +205,17 @@ def _parse_param(item: str) -> tuple:
     return key, raw
 
 
-def _method_config(args: argparse.Namespace, method: str) -> Dict[str, Any]:
-    """Assemble the registry config dict from the generic CLI flags."""
+def _method_config(args: argparse.Namespace, method: str, *,
+                   accepted_params_only: bool = False) -> Dict[str, Any]:
+    """Assemble the registry config dict from the generic CLI flags.
+
+    With ``accepted_params_only``, ``--param`` entries the method's spec
+    does not accept are dropped instead of passed through: the answer
+    command configures *every* registered method (fallback routing may
+    instantiate any of them), and e.g. a parsim-only ``iterations`` must
+    not poison sling's config.  Single-method commands keep the strict
+    pass-through so a mistyped key still fails loudly.
+    """
     spec = registry.get_spec(method)
     config: Dict[str, Any] = {}
     if "decay" in spec.config_keys:
@@ -202,7 +228,8 @@ def _method_config(args: argparse.Namespace, method: str) -> Dict[str, Any]:
         config["max_total_samples"] = getattr(args, "max_samples", None)
     for item in args.param:
         key, value = _parse_param(item)
-        config[key] = value
+        if not accepted_params_only or key in spec.config_keys:
+            config[key] = value
     return config
 
 
@@ -253,18 +280,34 @@ def _iter_query_lines(stream: TextIO) -> Iterator[str]:
 
 def _command_answer(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    # Every registered method gets its config from the generic flags, so a
-    # stream line naming any method ("method": "prsim") just works.
-    method_configs = {name: _method_config(args, name)
-                      for name in registry.available()}
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load fault plan {args.fault_plan}: {error}",
+                  file=sys.stderr)
+            return 2
     try:
         method = _resolve_method(args)
+        # Every registered method gets its config from the generic flags, so
+        # a stream line naming any method ("method": "prsim") just works.
+        # The chosen default method keeps strict --param checking; the rest
+        # only take the params their spec accepts (fallback routing may
+        # instantiate any of them, and e.g. a parsim-only "iterations" must
+        # not poison sling's config).
+        method_configs = {
+            name: _method_config(args, name,
+                                 accepted_params_only=(name != method))
+            for name in registry.available()}
         planner = QueryPlanner(graph, context=GraphContext.shared(graph),
                                default_method=method,
                                method_configs=method_configs,
                                cache_entries=args.cache_entries,
                                index_dir=args.index_dir,
-                               save_indices=args.save_indices)
+                               save_indices=args.save_indices,
+                               deadline_ms=args.deadline_ms,
+                               fault_plan=fault_plan)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -274,56 +317,95 @@ def _command_answer(args: argparse.Namespace) -> int:
 
     stream = sys.stdin if args.queries == "-" else open(args.queries, "r")
     failures = 0
+    aborted = False
     try:
         # Each item is ("query", query) or ("error", payload): error lines
         # buffer alongside their batch so output line N always answers
         # input line N (clients correlate positionally).
         batch: list = []
         for line in _iter_query_lines(stream):
-            try:
-                query = query_from_dict(json.loads(line))
-                if query.source < 0 or query.source >= graph.num_nodes or (
-                        getattr(query, "target", 0) < 0
-                        or getattr(query, "target", 0) >= graph.num_nodes):
-                    raise ValueError(f"node id out of range for graph with "
-                                     f"{graph.num_nodes} nodes")
-                if getattr(query, "k", 1) < 1:
-                    raise ValueError("k must be positive")
-                if query.method is not None \
-                        and query.method not in registry.available():
-                    raise ValueError(f"unknown method {query.method!r}")
-                batch.append(("query", query))
-            except (ValueError, KeyError, json.JSONDecodeError) as error:
-                failures += 1
-                batch.append(("error", {"error": str(error), "line": line}))
+            batch.append(_parse_query_line(line, graph))
             if len(batch) >= args.batch_size:
-                _answer_batch(planner, batch)
+                failures += _answer_batch(planner, batch)
                 batch = []
-        if batch:
-            _answer_batch(planner, batch)
+                if args.max_errors is not None and failures > args.max_errors:
+                    aborted = True
+                    break
+        if batch and not aborted:
+            failures += _answer_batch(planner, batch)
+            if args.max_errors is not None and failures > args.max_errors:
+                aborted = True
     finally:
         if stream is not sys.stdin:
             stream.close()
+    if aborted:
+        print(f"error: aborting after {failures} failed lines "
+              f"(--max-errors {args.max_errors})", file=sys.stderr)
     if args.stats:
         print("# serving stats: " + json.dumps(planner.stats()), file=sys.stderr)
+        breakers = planner.breakers()
+        if breakers:
+            print("# breakers: " + json.dumps(breakers), file=sys.stderr)
     return 0 if failures == 0 else 1
 
 
-def _answer_batch(planner: QueryPlanner, batch: list) -> None:
-    """Answer the batch's queries and emit every item in input order."""
+def _parse_query_line(line: str, graph: DiGraph) -> tuple:
+    """One wire line -> ("query", query) or ("error", structured payload)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        return ("error", {"error": str(error), "code": "parse_error",
+                          "line": line})
+    try:
+        if not isinstance(payload, dict):
+            raise ValueError("query line must be a JSON object")
+        query = query_from_dict(payload)
+        validate_query(query, graph.num_nodes)
+        if query.method is not None \
+                and query.method not in registry.available():
+            raise ValueError(f"unknown method {query.method!r}")
+        return ("query", query)
+    except (ValueError, KeyError) as error:
+        return ("error", {"error": str(error), "code": "invalid_query",
+                          "line": line})
+
+
+def _answer_batch(planner: QueryPlanner, batch: list) -> int:
+    """Answer the batch's queries and emit every item in input order.
+
+    Returns the number of failed lines (pre-parse errors plus queries whose
+    outcome carries a structured error: timeouts, exhausted routes).
+    """
+    failures = 0
     queries = [item for kind, item in batch if kind == "query"]
     outcomes = iter(planner.answer(queries))
     for kind, item in batch:
         if kind == "error":
+            failures += 1
             print(json.dumps(item))
             continue
         outcome = next(outcomes)
+        if outcome.error is not None:
+            failures += 1
+            payload = {"error": outcome.error.get("message", ""),
+                       **{key: value for key, value in outcome.error.items()
+                          if key != "message"}}
+            payload["method"] = outcome.plan.method
+            payload["route"] = outcome.plan.route
+            print(json.dumps(payload))
+            continue
         payload = result_to_dict(outcome.result)
         payload["method"] = outcome.plan.method
         payload["route"] = outcome.plan.route
         if outcome.plan.batched:
             payload["batched"] = True
+        if outcome.degraded:
+            payload["degraded"] = True
+            bound = outcome.result.stats.get("certified_bound")
+            if bound is not None:
+                payload["certified_bound"] = float(bound)
         print(json.dumps(payload))
+    return failures
 
 
 def _command_query(args: argparse.Namespace) -> int:

@@ -60,6 +60,7 @@ from repro.kernels.frontier import (_DENSE_SCATTER_CAP, propagate_batch,
                                     propagate_distribution,
                                     propagate_transpose)
 from repro.kernels.sparsevec import SparseVector
+from repro.utils.deadline import CHECKPOINT_LEVEL, checkpoint
 
 _EMPTY_I = np.empty(0, dtype=np.int64)
 _EMPTY_F = np.empty(0, dtype=np.float64)
@@ -238,7 +239,14 @@ class MultiPropagation:
         cache-resident accumulator) while the narrow majority shares the
         stacked scatter.  Both routes are bit-identical per lane, so the
         hybrid changes no value — only where the scatter-add lands.
+
+        Each step is a cooperative deadline checkpoint (kind ``level``): with
+        an active :class:`repro.utils.deadline.Deadline` installed, an expired
+        budget raises :class:`~repro.utils.deadline.DeadlineExceeded` *before*
+        the level advances, leaving the stacked state at a consistent level
+        boundary.
         """
+        checkpoint(CHECKPOINT_LEVEL)
         if active is None:
             adv_rows, adv_cols, adv_vals = self._rows, self._cols, self._vals
             rest_rows = rest_cols = _EMPTY_I
@@ -412,8 +420,10 @@ class DenseLanePropagation:
         """Advance every lane one level; return per-lane edges traversed.
 
         The edge count per lane is the same CSR-entry accounting as the
-        sparse engine: the structure degrees of the lane's support.
+        sparse engine: the structure degrees of the lane's support.  Like the
+        sparse engine, every step is a ``level`` deadline checkpoint.
         """
+        checkpoint(CHECKPOINT_LEVEL)
         edges = (self._degrees.astype(np.float64)
                  @ (self._state != 0.0)).astype(np.int64)
         self._state = self._matrix @ self._state

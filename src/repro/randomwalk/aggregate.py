@@ -30,6 +30,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.utils.deadline import CHECKPOINT_WALK_BATCH, checkpoint
+
 _EMPTY_INT = np.empty(0, dtype=np.int64)
 
 
@@ -248,6 +250,7 @@ def pair_meet_counts(rng: np.random.Generator, indptr: np.ndarray,
     for step in range(1, max_steps + 1):
         if m.size == 0:
             break
+        checkpoint(CHECKPOINT_WALK_BATCH)
         # Survival: both coins at once (probability c) outside the prefix.
         survivors = m.copy()
         flipping = skip_steps[origin] < step

@@ -43,6 +43,7 @@ import numpy as np
 from repro.graph.digraph import DiGraph
 from repro.randomwalk.aggregate import advance_frontier, group_sum, pair_meet_counts
 from repro.randomwalk.walkbatch import WalkBatch
+from repro.utils.deadline import CHECKPOINT_WALK_BATCH, checkpoint
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_node_index, check_positive_int, check_probability
 
@@ -92,6 +93,7 @@ class SqrtCWalkEngine:
         for step in range(1, max_steps + 1):
             if alive.size == 0:
                 break
+            checkpoint(CHECKPOINT_WALK_BATCH)
             survive = self.rng.random(alive.shape[0]) < self.sqrt_c
             alive, current = alive[survive], current[survive]
             movable = self._in_degrees[current] > 0
@@ -134,6 +136,7 @@ class SqrtCWalkEngine:
         for _ in range(steps):
             if alive.size == 0:
                 break
+            checkpoint(CHECKPOINT_WALK_BATCH)
             movable = self._in_degrees[current] > 0
             alive, current = alive[movable], current[movable]
             if alive.size == 0:
@@ -173,6 +176,7 @@ class SqrtCWalkEngine:
         for _ in range(max_steps):
             if nodes.size == 0:
                 break
+            checkpoint(CHECKPOINT_WALK_BATCH)
             nodes, counts = advance_frontier(
                 self.rng, self._indptr, self._indices, self._in_degrees,
                 nodes, counts, self.sqrt_c)

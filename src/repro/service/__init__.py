@@ -4,21 +4,28 @@ The :mod:`repro.service` package separates *what* a caller asks from *how*
 the algorithm layer executes it:
 
 * :mod:`repro.service.queries` — the typed request model
-  (:class:`SingleSourceQuery`, :class:`SinglePairQuery`, :class:`TopKQuery`)
-  and its JSONL wire format;
+  (:class:`SingleSourceQuery`, :class:`SinglePairQuery`, :class:`TopKQuery`),
+  its JSONL wire format, and graph-aware validation;
 * :mod:`repro.service.planner` — :class:`QueryPlanner`: routes each query to
   the cheapest capable path (LRU result cache → cached-vector derivation →
-  native method path → coalesced derived fallback), auto-loading persisted
-  indices;
+  native method path → coalesced derived fallback → cheapest other method),
+  auto-loading persisted indices, under per-route deadlines and circuit
+  breakers;
+* :mod:`repro.service.resilience` — the circuit breaker, the serving error
+  taxonomy, and re-exported deadline primitives;
+* :mod:`repro.service.faults` — deterministic fault injection for
+  resilience testing;
 * :mod:`repro.service.adaptive` — adaptive top-k refinement over any
   registered method's accuracy knob.
 """
 
 from repro.service.adaptive import RefinedTopK, refine_top_k
+from repro.service.faults import FaultPlan, FaultRule, InjectedFault
 from repro.service.planner import (
     ROUTE_CACHED,
     ROUTE_CACHED_DERIVED,
     ROUTE_DERIVED,
+    ROUTE_FALLBACK,
     ROUTE_NATIVE,
     QueryOutcome,
     QueryPlan,
@@ -28,31 +35,61 @@ from repro.service.planner import (
 from repro.service.queries import (
     Query,
     QueryResult,
+    QueryValidationError,
     SinglePairQuery,
     SingleSourceQuery,
     TopKQuery,
     query_from_dict,
     query_to_dict,
     result_to_dict,
+    validate_query,
+)
+from repro.service.resilience import (
+    ERROR_PARSE,
+    ERROR_ROUTE_FAILED,
+    ERROR_TIMEOUT,
+    ERROR_VALIDATION,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    active_deadline,
+    checkpoint,
+    deadline_scope,
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "ERROR_PARSE",
+    "ERROR_ROUTE_FAILED",
+    "ERROR_TIMEOUT",
+    "ERROR_VALIDATION",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "Query",
     "QueryResult",
     "QueryOutcome",
     "QueryPlan",
     "QueryPlanner",
+    "QueryValidationError",
     "RefinedTopK",
     "ResultCache",
     "ROUTE_CACHED",
     "ROUTE_CACHED_DERIVED",
     "ROUTE_DERIVED",
+    "ROUTE_FALLBACK",
     "ROUTE_NATIVE",
     "SinglePairQuery",
     "SingleSourceQuery",
     "TopKQuery",
+    "active_deadline",
+    "checkpoint",
+    "deadline_scope",
     "query_from_dict",
     "query_to_dict",
     "refine_top_k",
     "result_to_dict",
+    "validate_query",
 ]

@@ -21,6 +21,8 @@ import numpy as np
 from repro.algorithms import registry
 from repro.core.result import TopKResult
 from repro.service.planner import QueryPlanner
+from repro.utils.deadline import (CHECKPOINT_REFINE_ROUND, DeadlineExceeded,
+                                  checkpoint)
 
 
 @dataclass
@@ -32,6 +34,9 @@ class RefinedTopK:
     parameters: List[float]
     converged: bool
     total_query_seconds: float
+    #: True when a deadline ended refinement early and ``top_k`` is the last
+    #: completed round's (coarser but valid) answer.
+    degraded: bool = False
 
     @property
     def refinement_rounds(self) -> int:
@@ -74,12 +79,25 @@ def refine_top_k(planner: QueryPlanner, method: str, source: int, k: int = 500,
     consecutive_stable = 0
 
     value = initial
+    degraded = False
     while True:
+        # Each round is a ``refine-round`` deadline checkpoint: expiry before
+        # any round completed propagates (no answer to degrade to); once a
+        # round has produced an answer, expiry — at this boundary or inside
+        # the round's own level loops — ends refinement and returns the last
+        # completed round's answer marked degraded.
+        try:
+            checkpoint(CHECKPOINT_REFINE_ROUND)
+            config: Dict[str, Any] = dict(base_config or {})
+            config[spec.sweep_parameter] = spec.sweep_cast(value)
+            algorithm = planner.instance(method, config)
+            answer = algorithm.top_k(source, k)
+        except DeadlineExceeded:
+            if latest is None:
+                raise
+            degraded = True
+            break
         parameters.append(float(value))
-        config: Dict[str, Any] = dict(base_config or {})
-        config[spec.sweep_parameter] = spec.sweep_cast(value)
-        algorithm = planner.instance(method, config)
-        answer = algorithm.top_k(source, k)
         total_seconds += answer.query_seconds
 
         if latest is not None and _same_answer(latest, answer, require_same_order):
@@ -97,7 +115,7 @@ def refine_top_k(planner: QueryPlanner, method: str, source: int, k: int = 500,
 
     assert latest is not None
     return RefinedTopK(top_k=latest, parameters=parameters, converged=converged,
-                       total_query_seconds=total_seconds)
+                       total_query_seconds=total_seconds, degraded=degraded)
 
 
 def _same_answer(first: TopKResult, second: TopKResult,

@@ -7,7 +7,9 @@ capable path:
 1. **Result cache** — an LRU over answered queries; a repeated query returns
    without touching the compute substrate, and a cached *single-source
    vector* also answers any pair/top-k query on the same source for free
-   (``cached-derived``).
+   (``cached-derived``).  Keys incorporate the graph's structural
+   fingerprint, so a planner rebuilt over a mutated graph can never serve a
+   stale vector.
 2. **Native path** — methods declare what they answer natively
    (:attr:`~repro.baselines.base.SimRankAlgorithm.native_capabilities`);
    a pair query on ExactSim runs only the pair-local phases, a top-k query
@@ -23,14 +25,36 @@ seeds from the graph's size (a native pair is assumed to cost a fraction of
 a full pass) refined by the *observed* per-route seconds of earlier queries,
 so a planner serving traffic converges to measured routing.
 
+**Resilience.** Every route execution runs under three guards:
+
+* a cooperative *deadline* (``deadline_ms``, per planner or per ``answer``
+  call): the level-synchronous loops below check it at their boundaries.
+  Methods whose partial state is a certified answer (SLING, PRSim,
+  Linearization) return a *degraded* result carrying ``stats["degraded"]``
+  and a ``certified_bound``; loops without a usable prefix raise, and the
+  planner converts that into a structured **timeout** outcome
+  (``QueryOutcome.error``) instead of dying.  A timeout never triggers
+  fallback — the budget is spent — and degraded results are never cached.
+* a per-(method, route) *circuit breaker*: a route that fails repeatedly is
+  quarantined and probed with exponential backoff instead of re-failing
+  every query (:mod:`repro.service.resilience`).
+* an optional deterministic *fault plan* (:mod:`repro.service.faults`) that
+  injects failures/latency at exact call ordinals for resilience testing.
+
+On an organic route failure the planner retries down the cost order:
+native → coalesced-derived → per-source fallback through the cheapest other
+capable method (route ``fallback``); only when every candidate fails does
+the outcome carry a ``route_failed`` error.
+
 Index-based methods auto-load their persisted index from ``index_dir`` on
-first touch (falling back to a build when the file is missing or stale, and
-optionally saving it back with ``save_indices=True``) — the PR-2 persistent
-index store becomes transparent to the serving path.
+first touch.  A corrupt or stale index file degrades to a rebuild with a
+logged structured warning (and an ``index_load_failures`` counter) — never
+an exception on the serving path.
 """
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,6 +70,7 @@ from repro.baselines.base import (
 from repro.core.result import SinglePairResult, SingleSourceResult
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
+from repro.service.faults import FaultPlan
 from repro.service.queries import (
     KIND_SINGLE_PAIR,
     KIND_SINGLE_SOURCE,
@@ -56,12 +81,26 @@ from repro.service.queries import (
     SingleSourceQuery,
     TopKQuery,
 )
+from repro.service.resilience import (
+    ERROR_ROUTE_FAILED,
+    ERROR_TIMEOUT,
+    STATE_CLOSED,
+    STATE_OPEN,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    deadline_scope,
+    error_record,
+)
+
+_LOGGER = logging.getLogger("repro.service.planner")
 
 #: Routes a plan can take (``route`` field of :class:`QueryPlan`).
 ROUTE_CACHED = "cached"
 ROUTE_CACHED_DERIVED = "cached-derived"
 ROUTE_NATIVE = "native"
 ROUTE_DERIVED = "derived"
+ROUTE_FALLBACK = "fallback"
 
 PathLike = Union[str, Path]
 
@@ -82,15 +121,32 @@ class QueryPlan:
 
 @dataclass
 class QueryOutcome:
-    """A plan plus the result it produced."""
+    """A plan plus the result it produced — or the structured error instead.
+
+    Exactly one of ``result`` / ``error`` is meaningful: a served query
+    carries its result (possibly *degraded*: a certified partial answer, see
+    :attr:`degraded`); a failed query carries an error record with a stable
+    ``code`` (``timeout`` / ``route_failed``) and ``result is None``.
+    """
 
     query: Query
     plan: QueryPlan
-    result: QueryResult
+    result: Optional[QueryResult] = None
+    error: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def cached(self) -> bool:
         return self.plan.route in (ROUTE_CACHED, ROUTE_CACHED_DERIVED)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is a deadline-degraded certified partial."""
+        stats = getattr(self.result, "stats", None)
+        return bool(stats) and stats.get("degraded") == 1.0
 
 
 class ResultCache:
@@ -149,6 +205,15 @@ class QueryPlanner:
         ``<index_dir>/<graph>.<method>.npz`` on first touch instead of
         rebuilding; with ``save_indices=True`` a freshly built index is
         saved there for the next process.
+    deadline_ms:
+        Default per-route-execution compute budget (None = unbounded); each
+        :meth:`answer` call can override it.
+    breaker:
+        The per-(method, route) circuit breaker; the default trips after 3
+        consecutive failures.  Inject one with a fake clock for tests.
+    fault_plan:
+        Optional deterministic fault injection consulted before every route
+        execution (:mod:`repro.service.faults`).
     """
 
     def __init__(self, graph: DiGraph, *, context: Optional[GraphContext] = None,
@@ -156,7 +221,10 @@ class QueryPlanner:
                  method_configs: Optional[Mapping[str, Mapping[str, Any]]] = None,
                  cache_entries: int = 256,
                  index_dir: Optional[PathLike] = None,
-                 save_indices: bool = False):
+                 save_indices: bool = False,
+                 deadline_ms: Optional[float] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.graph = graph
         self.context = context if context is not None else GraphContext.shared(graph)
         self.default_method = default_method
@@ -165,6 +233,12 @@ class QueryPlanner:
         self.cache = ResultCache(cache_entries)
         self.index_dir = Path(index_dir) if index_dir is not None else None
         self.save_indices = save_indices
+        self.deadline_ms = deadline_ms
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.fault_plan = fault_plan
+        # Cache keys are scoped by the graph's structural fingerprint so a
+        # result can never outlive the structure it was computed on.
+        self._graph_key = graph.fingerprint().tobytes()
         self._instances: Dict[Hashable, SimRankAlgorithm] = {}
         # Methods whose freshly built index should be persisted once an
         # actual query forces the build (never eagerly at construction).
@@ -177,6 +251,10 @@ class QueryPlanner:
             "queries": 0, "native_routes": 0, "derived_routes": 0,
             "cache_routes": 0, "coalesced_batches": 0, "coalesced_queries": 0,
             "index_loads": 0, "index_builds_saved": 0,
+            "index_load_failures": 0,
+            "route_failures": 0, "fallback_routes": 0,
+            "degraded_answers": 0, "deadline_timeouts": 0,
+            "breaker_rejections": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -232,9 +310,12 @@ class QueryPlanner:
                 algorithm.load_index(path)
                 self._counters["index_loads"] += 1
                 return
-            except IndexPersistenceError:
-                # Stale/mismatched file: fall through to a fresh build.
-                pass
+            except IndexPersistenceError as error:
+                # Corrupt/stale/mismatched file: degrade to a fresh build.
+                self._counters["index_load_failures"] += 1
+                _LOGGER.warning(
+                    "index-load-failed method=%s path=%s error=%r; "
+                    "falling back to an in-process rebuild", method, path, error)
         if self.save_indices:
             self._pending_saves.add(method)
 
@@ -284,17 +365,39 @@ class QueryPlanner:
     def _method_of(self, query: Query) -> str:
         return query.method if query.method is not None else self.default_method
 
-    @staticmethod
-    def _cache_key(method: str, query: Query) -> Hashable:
-        if isinstance(query, SinglePairQuery):
-            return (KIND_SINGLE_PAIR, method, query.source, query.target)
-        if isinstance(query, TopKQuery):
-            return (KIND_TOP_K, method, query.source, query.k)
-        return (KIND_SINGLE_SOURCE, method, query.source)
+    def _query_config(self, method: str, query: Query) -> Optional[Dict[str, Any]]:
+        """Per-query config override (the wire format's optional ε knob)."""
+        epsilon = getattr(query, "epsilon", None)
+        if epsilon is None:
+            return None
+        try:
+            spec = registry.get_spec(method)
+        except KeyError:
+            # A planner-registered instance outside the registry: no knob.
+            return None
+        if "epsilon" not in spec.config_keys:
+            return None
+        return {"epsilon": float(epsilon)}
 
-    @staticmethod
-    def _source_key(method: str, source: int) -> Hashable:
-        return (KIND_SINGLE_SOURCE, method, source)
+    def _effective_epsilon(self, method: str, query: Query) -> Optional[float]:
+        override = self._query_config(method, query)
+        return override["epsilon"] if override else None
+
+    def _cache_key(self, method: str, query: Query) -> Hashable:
+        epsilon = self._effective_epsilon(method, query)
+        if isinstance(query, SinglePairQuery):
+            return (KIND_SINGLE_PAIR, self._graph_key, method,
+                    query.source, query.target, epsilon)
+        if isinstance(query, TopKQuery):
+            return (KIND_TOP_K, self._graph_key, method, query.source,
+                    query.k, epsilon)
+        return (KIND_SINGLE_SOURCE, self._graph_key, method, query.source,
+                epsilon)
+
+    def _source_key(self, method: str, source: int,
+                    epsilon: Optional[float] = None) -> Hashable:
+        return (KIND_SINGLE_SOURCE, self._graph_key, method, int(source),
+                epsilon)
 
     def plan(self, query: Query) -> QueryPlan:
         """The route :meth:`execute` would take for ``query`` right now."""
@@ -302,12 +405,14 @@ class QueryPlanner:
         if self.cache.max_entries:
             if self._peek(self._cache_key(method, query)):
                 return QueryPlan(method=method, kind=query.kind, route=ROUTE_CACHED)
+            epsilon = self._effective_epsilon(method, query)
             if query.kind != KIND_SINGLE_SOURCE \
-                    and self._peek(self._source_key(method, query.source)):
+                    and self._peek(self._source_key(method, query.source, epsilon)):
                 return QueryPlan(method=method, kind=query.kind,
                                  route=ROUTE_CACHED_DERIVED)
-        algorithm = self.instance(method)
-        if query.kind in algorithm.native_capabilities:
+        algorithm = self.instance(method, self._query_config(method, query))
+        if query.kind in algorithm.native_capabilities \
+                and self.breaker.state((method, ROUTE_NATIVE)) != STATE_OPEN:
             return QueryPlan(method=method, kind=query.kind, route=ROUTE_NATIVE,
                              cost_hint=self._expected_cost(method, query.kind,
                                                            ROUTE_NATIVE))
@@ -322,11 +427,13 @@ class QueryPlanner:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def execute(self, query: Query) -> QueryOutcome:
+    def execute(self, query: Query, *,
+                deadline_ms: Optional[float] = None) -> QueryOutcome:
         """Answer one query on the cheapest capable path."""
-        return self.answer([query])[0]
+        return self.answer([query], deadline_ms=deadline_ms)[0]
 
-    def answer(self, queries: Sequence[Query]) -> List[QueryOutcome]:
+    def answer(self, queries: Sequence[Query], *,
+               deadline_ms: Optional[float] = None) -> List[QueryOutcome]:
         """Answer a batch, coalescing shared single-source work.
 
         Resolution order per query: exact cache hit → derivation from a
@@ -336,14 +443,23 @@ class QueryPlanner:
         harness issues), and every vector computed that way lands in the
         cache, so later queries in the same batch — and subsequent batches —
         reuse it.
+
+        ``deadline_ms`` overrides the planner default for this call; each
+        route execution (one native query, or one coalesced micro-batch)
+        runs under its own fresh budget.  Failed queries come back as
+        outcomes with ``error`` set, never as exceptions — only programmer
+        errors (an unknown method name) still raise.
         """
+        effective_ms = deadline_ms if deadline_ms is not None else self.deadline_ms
         outcomes: List[Optional[QueryOutcome]] = [None] * len(queries)
-        # (method -> source -> positions) of queries whose answer must come
-        # from a full single-source vector.
-        pending: Dict[str, Dict[int, List[int]]] = {}
+        # ((method, epsilon) -> source -> positions) of queries whose answer
+        # must come from a full single-source vector.
+        pending: Dict[Tuple[str, Optional[float]],
+                      Dict[int, List[int]]] = {}
         for position, query in enumerate(queries):
             self._counters["queries"] += 1
             method = self._method_of(query)
+            epsilon = self._effective_epsilon(method, query)
             key = self._cache_key(method, query)
             hit = self.cache.get(key)
             if hit is not None:
@@ -354,7 +470,8 @@ class QueryPlanner:
                     result=hit)
                 continue
             if query.kind != KIND_SINGLE_SOURCE:
-                vector = self.cache.get(self._source_key(method, query.source))
+                vector = self.cache.get(self._source_key(method, query.source,
+                                                         epsilon))
                 if vector is not None:
                     assert isinstance(vector, SingleSourceResult)
                     self._counters["cache_routes"] += 1
@@ -366,30 +483,136 @@ class QueryPlanner:
                                        route=ROUTE_CACHED_DERIVED),
                         result=result)
                     continue
-            algorithm = self.instance(method)
+            # Unknown method names raise here (a caller error, not a route
+            # failure — fallback routing must not mask it).
+            algorithm = self.instance(method, self._query_config(method, query))
             if self._route_native(query, algorithm, queries):
-                result = self._execute_native(query, algorithm)
-                self._flush_pending_save(method, algorithm)
-                self.cache.put(key, result)
-                self._counters["native_routes"] += 1
-                self._observe(method, query.kind, ROUTE_NATIVE,
-                              result.query_seconds)
-                outcomes[position] = QueryOutcome(
-                    query=query,
-                    plan=QueryPlan(method=method, kind=query.kind,
-                                   route=ROUTE_NATIVE,
-                                   cost_hint=self._expected_cost(
-                                       method, query.kind, ROUTE_NATIVE)),
-                    result=result)
-                continue
-            pending.setdefault(method, {}).setdefault(
+                outcome = self._answer_native(query, method, algorithm,
+                                              effective_ms)
+                if outcome is not None:
+                    outcomes[position] = outcome
+                    continue
+                # Native route rejected or failed: retry down the route list.
+            pending.setdefault((method, epsilon), {}).setdefault(
                 int(query.source), []).append(position)
 
-        # Coalesced derived execution: one micro-batch per method.
-        for method, by_source in pending.items():
-            algorithm = self.instance(method)
-            sources = sorted(by_source)
-            vectors = algorithm.single_source_batch(sources)
+        # Coalesced derived execution: one micro-batch per (method, ε).
+        for (method, epsilon), by_source in pending.items():
+            self._answer_pool(method, epsilon, by_source, queries, outcomes,
+                              effective_ms)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes            # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # guarded route executions
+    # ------------------------------------------------------------------ #
+    def _new_deadline(self, effective_ms: Optional[float]) -> Optional[Deadline]:
+        return Deadline.after_ms(effective_ms) if effective_ms is not None else None
+
+    def _note_degraded(self, result: QueryResult) -> bool:
+        stats = getattr(result, "stats", None)
+        if stats and stats.get("degraded") == 1.0:
+            self._counters["degraded_answers"] += 1
+            return True
+        return False
+
+    def _timeout_outcome(self, query: Query, method: str, route: str,
+                         exc: DeadlineExceeded, *,
+                         batched: bool = False) -> QueryOutcome:
+        self._counters["deadline_timeouts"] += 1
+        error = error_record(
+            ERROR_TIMEOUT, str(exc),
+            detail={"checkpoint": exc.checkpoint,
+                    "budget_seconds": exc.budget_seconds,
+                    "elapsed_seconds": exc.elapsed_seconds})
+        return QueryOutcome(
+            query=query,
+            plan=QueryPlan(method=method, kind=query.kind, route=route,
+                           batched=batched),
+            error=error)
+
+    def _answer_native(self, query: Query, method: str,
+                       algorithm: SimRankAlgorithm,
+                       effective_ms: Optional[float]) -> Optional[QueryOutcome]:
+        """One guarded native execution; ``None`` means "retry derived"."""
+        breaker_key = (method, ROUTE_NATIVE)
+        if not self.breaker.allow(breaker_key):
+            self._counters["breaker_rejections"] += 1
+            return None
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.on_route_call(method, ROUTE_NATIVE, query.kind)
+            # Index construction is amortized across queries; a per-query
+            # budget covers query execution only, so prepare outside the
+            # deadline scope.
+            algorithm.ensure_prepared()
+            with deadline_scope(self._new_deadline(effective_ms)):
+                result = self._execute_native(query, algorithm)
+        except DeadlineExceeded as exc:
+            # The budget is spent: no fallback, and no breaker penalty —
+            # a slow route is the cost model's problem, not a fault.
+            self.breaker.record_success(breaker_key)
+            return self._timeout_outcome(query, method, ROUTE_NATIVE, exc)
+        except Exception as exc:
+            self.breaker.record_failure(breaker_key)
+            self._counters["route_failures"] += 1
+            _LOGGER.warning("route-failed method=%s route=%s kind=%s error=%r; "
+                            "retrying derived", method, ROUTE_NATIVE,
+                            query.kind, exc)
+            return None
+        self.breaker.record_success(breaker_key)
+        self._flush_pending_save(method, algorithm)
+        if not self._note_degraded(result):
+            self.cache.put(self._cache_key(method, query), result)
+        self._counters["native_routes"] += 1
+        self._observe(method, query.kind, ROUTE_NATIVE, result.query_seconds)
+        return QueryOutcome(
+            query=query,
+            plan=QueryPlan(method=method, kind=query.kind, route=ROUTE_NATIVE,
+                           cost_hint=self._expected_cost(method, query.kind,
+                                                         ROUTE_NATIVE)),
+            result=result)
+
+    def _answer_pool(self, method: str, epsilon: Optional[float],
+                     by_source: Dict[int, List[int]], queries: Sequence[Query],
+                     outcomes: List[Optional[QueryOutcome]],
+                     effective_ms: Optional[float]) -> None:
+        """Answer one (method, ε) pool: coalesced batch, then fallback."""
+        config = {"epsilon": epsilon} if epsilon is not None else None
+        algorithm = self.instance(method, config)
+        sources = sorted(by_source)
+        breaker_key = (method, ROUTE_DERIVED)
+        vectors: Optional[Sequence[SingleSourceResult]] = None
+        if self.breaker.allow(breaker_key):
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.on_route_call(method, ROUTE_DERIVED,
+                                                  KIND_SINGLE_SOURCE)
+                algorithm.ensure_prepared()
+                with deadline_scope(self._new_deadline(effective_ms)):
+                    vectors = algorithm.single_source_batch(sources)
+            except DeadlineExceeded as exc:
+                # The shared budget is spent for every query in the pool.
+                self.breaker.record_success(breaker_key)
+                for source in sources:
+                    for position in by_source[source]:
+                        outcomes[position] = self._timeout_outcome(
+                            queries[position], method, ROUTE_DERIVED, exc,
+                            batched=len(sources) > 1)
+                return
+            except Exception as exc:
+                self.breaker.record_failure(breaker_key)
+                self._counters["route_failures"] += 1
+                _LOGGER.warning("route-failed method=%s route=%s error=%r; "
+                                "retrying per-source fallback", method,
+                                ROUTE_DERIVED, exc)
+                vectors = None
+            else:
+                self.breaker.record_success(breaker_key)
+        else:
+            self._counters["breaker_rejections"] += 1
+
+        if vectors is not None:
             self._flush_pending_save(method, algorithm)
             group_queries = sum(len(positions)
                                 for positions in by_source.values())
@@ -400,7 +623,10 @@ class QueryPlanner:
                 self._counters["coalesced_batches"] += 1
                 self._counters["coalesced_queries"] += group_queries
             for source, vector in zip(sources, vectors):
-                self.cache.put(self._source_key(method, source), vector)
+                degraded = self._is_degraded(vector)
+                if not degraded:
+                    self.cache.put(self._source_key(method, source, epsilon),
+                                   vector)
                 self._observe(method, KIND_SINGLE_SOURCE, ROUTE_DERIVED,
                               vector.query_seconds)
                 for position in by_source[source]:
@@ -408,7 +634,8 @@ class QueryPlanner:
                     self._counters["derived_routes"] += 1
                     result = (vector if query.kind == KIND_SINGLE_SOURCE
                               else self._derive(query, vector))
-                    self.cache.put(self._cache_key(method, query), result)
+                    if not self._note_degraded(result):
+                        self.cache.put(self._cache_key(method, query), result)
                     outcomes[position] = QueryOutcome(
                         query=query,
                         plan=QueryPlan(method=method, kind=query.kind,
@@ -418,8 +645,89 @@ class QueryPlanner:
                                            ROUTE_DERIVED),
                                        batched=len(sources) > 1),
                         result=result)
-        assert all(outcome is not None for outcome in outcomes)
-        return outcomes            # type: ignore[return-value]
+            return
+
+        # Last rung of the route list: per-source fallback through the
+        # cheapest other capable method.
+        for source in sources:
+            self._answer_fallback(method, source, by_source[source], queries,
+                                  outcomes, effective_ms)
+
+    @staticmethod
+    def _is_degraded(result: QueryResult) -> bool:
+        stats = getattr(result, "stats", None)
+        return bool(stats) and stats.get("degraded") == 1.0
+
+    def _fallback_candidates(self, failed_method: str) -> List[str]:
+        """Other registry methods, cheapest expected single-source first."""
+        names = [name for name in registry.available() if name != failed_method]
+        return sorted(names, key=lambda name: (
+            self._expected_cost(name, KIND_SINGLE_SOURCE, ROUTE_DERIVED), name))
+
+    def _answer_fallback(self, failed_method: str, source: int,
+                         positions: List[int], queries: Sequence[Query],
+                         outcomes: List[Optional[QueryOutcome]],
+                         effective_ms: Optional[float]) -> None:
+        last_error: Optional[BaseException] = None
+        for candidate in self._fallback_candidates(failed_method):
+            breaker_key = (candidate, ROUTE_FALLBACK)
+            if not self.breaker.allow(breaker_key):
+                self._counters["breaker_rejections"] += 1
+                continue
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.on_route_call(candidate, ROUTE_FALLBACK,
+                                                  KIND_SINGLE_SOURCE)
+                fallback = self.instance(candidate)
+                fallback.ensure_prepared()
+                with deadline_scope(self._new_deadline(effective_ms)):
+                    vector = fallback.single_source(source)
+            except DeadlineExceeded as exc:
+                self.breaker.record_success(breaker_key)
+                for position in positions:
+                    outcomes[position] = self._timeout_outcome(
+                        queries[position], candidate, ROUTE_FALLBACK, exc)
+                return
+            except Exception as exc:
+                self.breaker.record_failure(breaker_key)
+                self._counters["route_failures"] += 1
+                last_error = exc
+                continue
+            self.breaker.record_success(breaker_key)
+            degraded = self._is_degraded(vector)
+            if not degraded:
+                self.cache.put(self._source_key(candidate, source), vector)
+            self._observe(candidate, KIND_SINGLE_SOURCE, ROUTE_DERIVED,
+                          vector.query_seconds)
+            for position in positions:
+                query = queries[position]
+                self._counters["fallback_routes"] += 1
+                result = (vector if query.kind == KIND_SINGLE_SOURCE
+                          else self._derive(query, vector))
+                self._note_degraded(result)
+                outcomes[position] = QueryOutcome(
+                    query=query,
+                    plan=QueryPlan(method=candidate, kind=query.kind,
+                                   route=ROUTE_FALLBACK,
+                                   cost_hint=self._expected_cost(
+                                       candidate, KIND_SINGLE_SOURCE,
+                                       ROUTE_DERIVED)),
+                    result=result)
+            return
+        # Every rung failed (or was quarantined).
+        message = (f"all routes failed for {queries[positions[0]].kind} query "
+                   f"on source {source}")
+        if last_error is not None:
+            message += f" (last error: {last_error!r})"
+        for position in positions:
+            query = queries[position]
+            outcomes[position] = QueryOutcome(
+                query=query,
+                plan=QueryPlan(method=failed_method, kind=query.kind,
+                               route=ROUTE_FALLBACK),
+                error=error_record(ERROR_ROUTE_FAILED, message,
+                                   detail={"method": failed_method,
+                                           "source": int(source)}))
 
     def _route_native(self, query: Query, algorithm: SimRankAlgorithm,
                       batch: Sequence[Query]) -> bool:
@@ -454,10 +762,20 @@ class QueryPlanner:
     @staticmethod
     def _derive(query: Query, vector: SingleSourceResult) -> QueryResult:
         if isinstance(query, SinglePairQuery):
-            return SinglePairResult.from_single_source(vector, query.target)
-        assert isinstance(query, TopKQuery)
-        answer = vector.top_k(query.k)
-        answer.query_seconds = vector.query_seconds
+            answer: QueryResult = SinglePairResult.from_single_source(
+                vector, query.target)
+        else:
+            assert isinstance(query, TopKQuery)
+            answer = vector.top_k(query.k)
+            answer.query_seconds = vector.query_seconds
+        # A degraded vector's certification travels with everything derived
+        # from it (the pair/top-k answer is only as good as the vector).
+        source_stats = getattr(vector, "stats", None) or {}
+        if source_stats.get("degraded") == 1.0:
+            for stat in ("degraded", "certified_bound", "levels_used",
+                         "levels_total"):
+                if stat in source_stats:
+                    answer.stats[stat] = source_stats[stat]
         return answer
 
     # ------------------------------------------------------------------ #
@@ -471,13 +789,28 @@ class QueryPlanner:
             rows.append({"method": name, **capabilities})
         return rows
 
+    def breakers(self) -> List[Dict[str, object]]:
+        """Circuit-breaker rows keyed ``method:route`` (empty when untouched)."""
+        rows = []
+        for row in self.breaker.snapshot():
+            method, route = row.pop("key")  # type: ignore[misc]
+            rows.append({"route": f"{method}:{route}", **row})
+        return rows
+
     def stats(self) -> Dict[str, float]:
-        """Serving counters plus cache hit/miss totals."""
+        """Serving counters plus cache, breaker, and fault-injection totals."""
         snapshot: Dict[str, float] = {key: float(value)
                                       for key, value in self._counters.items()}
         snapshot["cache_hits"] = float(self.cache.hits)
         snapshot["cache_misses"] = float(self.cache.misses)
         snapshot["cache_entries"] = float(len(self.cache))
+        breaker_rows = self.breaker.snapshot()
+        snapshot["breaker_trips"] = float(sum(row["trips"]
+                                              for row in breaker_rows))
+        snapshot["breaker_open_routes"] = float(sum(
+            1 for row in breaker_rows if row["state"] != STATE_CLOSED))
+        snapshot["faults_injected"] = float(
+            self.fault_plan.injected if self.fault_plan is not None else 0)
         return snapshot
 
 
@@ -490,4 +823,5 @@ __all__ = [
     "ROUTE_CACHED_DERIVED",
     "ROUTE_NATIVE",
     "ROUTE_DERIVED",
+    "ROUTE_FALLBACK",
 ]

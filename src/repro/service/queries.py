@@ -16,10 +16,17 @@ coalesces them into the vectorized multi-source paths.
 The module also carries the wire format of the CLI ``answer`` subcommand:
 one JSON object per line, ``{"type": "top_k", "source": 3, "k": 10}``,
 parsed by :func:`query_from_dict` and emitted by :func:`result_to_dict`.
+
+Parsing and *validation* are separate steps: :func:`query_from_dict` only
+needs the payload to be shaped like a query, while :func:`validate_query`
+checks it against a concrete graph (ids in range, ``1 ≤ k ≤ n``, finite
+positive ε) and raises :class:`QueryValidationError` — the serving loop
+turns that into a structured per-line error instead of dying mid-stream.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Union
 
@@ -37,6 +44,8 @@ class SingleSourceQuery:
 
     source: int
     method: Optional[str] = None
+    #: Optional per-query accuracy override (methods with an ε knob).
+    epsilon: Optional[float] = None
     kind: str = KIND_SINGLE_SOURCE
 
 
@@ -47,6 +56,7 @@ class SinglePairQuery:
     source: int
     target: int
     method: Optional[str] = None
+    epsilon: Optional[float] = None
     kind: str = KIND_SINGLE_PAIR
 
 
@@ -57,6 +67,7 @@ class TopKQuery:
     source: int
     k: int = 500
     method: Optional[str] = None
+    epsilon: Optional[float] = None
     kind: str = KIND_TOP_K
 
 
@@ -90,19 +101,70 @@ def query_from_dict(payload: Mapping[str, Any]) -> Query:
                          f"expected one of {sorted(set(_KIND_ALIASES.values()))}")
     if "source" not in payload:
         raise ValueError(f"{kind} query needs a 'source' field")
-    source = int(payload["source"])
+    source = _parse_int(payload["source"], "source")
     method = payload.get("method")
     if method is not None:
         method = str(method)
+    epsilon = payload.get("epsilon")
+    if epsilon is not None:
+        try:
+            epsilon = float(epsilon)
+        except (TypeError, ValueError):
+            raise ValueError(f"'epsilon' must be a number, got {epsilon!r}")
     if kind == KIND_SINGLE_PAIR:
         if "target" not in payload:
             raise ValueError("single_pair query needs a 'target' field")
-        return SinglePairQuery(source=source, target=int(payload["target"]),
-                               method=method)
+        return SinglePairQuery(source=source,
+                               target=_parse_int(payload["target"], "target"),
+                               method=method, epsilon=epsilon)
     if kind == KIND_TOP_K:
-        return TopKQuery(source=source, k=int(payload.get("k", 500)),
-                         method=method)
-    return SingleSourceQuery(source=source, method=method)
+        return TopKQuery(source=source, k=_parse_int(payload.get("k", 500), "k"),
+                         method=method, epsilon=epsilon)
+    return SingleSourceQuery(source=source, method=method, epsilon=epsilon)
+
+
+def _parse_int(value: Any, name: str) -> int:
+    """An integer field; rejects floats-with-fraction and non-numbers."""
+    if isinstance(value, bool):
+        raise ValueError(f"'{name}' must be an integer, got {value!r}")
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"'{name}' must be an integer, got {value!r}")
+    if isinstance(value, float) and value != as_int:
+        raise ValueError(f"'{name}' must be an integer, got {value!r}")
+    return as_int
+
+
+class QueryValidationError(ValueError):
+    """A parsed query is invalid against the served graph."""
+
+
+def validate_query(query: Query, num_nodes: int) -> Query:
+    """Check ``query`` against a graph with ``num_nodes`` nodes.
+
+    Raises :class:`QueryValidationError` on out-of-range node ids,
+    ``k < 1`` / ``k > num_nodes``, or a non-finite / non-positive ε.
+    Returns the query unchanged so call sites can chain.
+    """
+    if not 0 <= query.source < num_nodes:
+        raise QueryValidationError(
+            f"source {query.source} out of range for graph with "
+            f"{num_nodes} nodes")
+    if isinstance(query, SinglePairQuery) \
+            and not 0 <= query.target < num_nodes:
+        raise QueryValidationError(
+            f"target {query.target} out of range for graph with "
+            f"{num_nodes} nodes")
+    if isinstance(query, TopKQuery) and not 1 <= query.k <= num_nodes:
+        raise QueryValidationError(
+            f"k must be between 1 and {num_nodes} (the graph size), "
+            f"got {query.k}")
+    if query.epsilon is not None \
+            and (not math.isfinite(query.epsilon) or query.epsilon <= 0.0):
+        raise QueryValidationError(
+            f"epsilon must be a finite positive number, got {query.epsilon!r}")
+    return query
 
 
 def query_to_dict(query: Query) -> Dict[str, Any]:
@@ -114,6 +176,8 @@ def query_to_dict(query: Query) -> Dict[str, Any]:
         payload["k"] = query.k
     if query.method is not None:
         payload["method"] = query.method
+    if query.epsilon is not None:
+        payload["epsilon"] = query.epsilon
     return payload
 
 
@@ -156,7 +220,9 @@ __all__ = [
     "TopKQuery",
     "Query",
     "QueryResult",
+    "QueryValidationError",
     "query_from_dict",
     "query_to_dict",
     "result_to_dict",
+    "validate_query",
 ]
