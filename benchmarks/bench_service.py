@@ -27,28 +27,44 @@ Three workload families:
 * ``serving`` — planner throughput on a mixed pair/top-k workload: cold
   coalesced batch vs per-query loop vs warm (second pass served from the
   LRU cache).
+* ``worker_scaling`` (PR 8) — the supervised multi-process pool: sustained
+  mixed-workload throughput at 1/2/4 workers vs the in-process planner,
+  bit-identity of 1-worker pool answers against the single process, the
+  shared-memory claim measured directly (per-worker private RSS with the
+  index attached as a read-only mmap vs fully materialized), and an
+  overload run (shed mode p50 of *served* queries vs an unbounded flood).
 
 Honest anti-targets are part of the record: a native pair on a tiny graph
-can be slower than one dense pass (fixed per-query overhead), and certified
+can be slower than one dense pass (fixed per-query overhead), certified
 top-k needs a real k-gap to stop early — flat similarity surfaces (DB)
-refine to full depth.
+refine to full depth — and on a graph this small the per-batch IPC cost
+can eat most of what extra workers buy.
 """
 
 import argparse
+import asyncio
 import gc
 import json
+import os
 import platform
+import statistics
 import sys
+import tempfile
 import time
+from collections import deque
 
 import numpy as np
 
 from repro.algorithms import registry
 from repro.graph.datasets import load_dataset
 from repro.service import (
+    ERROR_OVERLOADED,
+    Frontend,
     QueryPlanner,
     SinglePairQuery,
     TopKQuery,
+    WorkerPool,
+    outcome_to_wire,
 )
 
 DECAY = 0.6
@@ -174,6 +190,227 @@ def bench_serving(graph, method, config, repeats):
 
 
 # --------------------------------------------------------------------------- #
+# workload: supervised worker pool — scaling, shared memory, overload
+# --------------------------------------------------------------------------- #
+_VOLATILE_WIRE_KEYS = ("query_seconds", "route", "batched")
+
+
+def _stable_wire(payload):
+    return {key: value for key, value in payload.items()
+            if key not in _VOLATILE_WIRE_KEYS}
+
+
+def _process_memory(pid):
+    """Per-process memory from smaps_rollup, in bytes (empty off-Linux)."""
+    fields = {}
+    try:
+        with open(f"/proc/{pid}/smaps_rollup") as handle:
+            for line in handle:
+                parts = line.split()
+                if len(parts) >= 3 and parts[2] == "kB":
+                    fields[parts[0].rstrip(":")] = int(parts[1]) * 1024
+    except OSError:
+        return {}
+    return fields
+
+
+def _worker_memory(pool):
+    rows = []
+    for pid in pool.pids():
+        fields = _process_memory(pid)
+        if fields:
+            rows.append({
+                "rss": fields.get("Rss", 0),
+                "pss": fields.get("Pss", 0),
+                "private": (fields.get("Private_Clean", 0)
+                            + fields.get("Private_Dirty", 0)),
+            })
+    return rows
+
+
+async def _pool_throughput(factory, workload, num_workers, repeats):
+    """Best-of wall time for the workload through an N-worker pool.
+
+    Returns (best_seconds, final-pass payloads in workload order,
+    per-worker memory rows sampled while the indices are attached).
+    """
+    pool = await WorkerPool(factory, num_workers=num_workers,
+                            batch_size=8).start()
+    try:
+        await asyncio.gather(*[pool.submit(query) for query in workload])
+        best, payloads = float("inf"), []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            payloads = await asyncio.gather(
+                *[pool.submit(query) for query in workload])
+            best = min(best, time.perf_counter() - start)
+        memory = _worker_memory(pool)
+        await pool.drain()
+        return best, payloads, memory
+    except BaseException:
+        await pool.close()
+        raise
+
+
+async def _overload_run(factory, num_nodes, queries, max_inflight):
+    """Flood a 2-worker pool two ways: unbounded queue vs shed mode.
+
+    Unbounded submits everything at once and measures each query's
+    completion latency (tail queries pay for the whole queue ahead of
+    them).  Shed mode pushes the same flood through the admission front
+    end: excess lines get an immediate ``overloaded`` rejection and the
+    *served* queries keep a bounded latency.
+    """
+    lines = [json.dumps(_stable_wire(wire)) for wire in
+             ({"type": "single_pair", "source": q.source, "target": q.target,
+               "method": q.method} for q in queries)]
+
+    pool = await WorkerPool(factory, num_workers=2, batch_size=8).start()
+    try:
+        await pool.answer(queries[0])               # attach indices
+        start = time.perf_counter()
+        futures = [pool.submit(query) for query in queries]
+        done_at = [0.0] * len(futures)
+
+        def _stamp(index):
+            def callback(_future):
+                done_at[index] = time.perf_counter() - start
+            return callback
+
+        for index, future in enumerate(futures):
+            future.add_done_callback(_stamp(index))
+        await asyncio.gather(*futures)
+        unbounded = sorted(done_at)
+
+        frontend = Frontend(pool, num_nodes, max_inflight=max_inflight,
+                            queue_watermark=2 * max_inflight, shed=True)
+        sent = deque()
+        served, shed = [], []
+
+        async def generate():
+            for line in lines:
+                sent.append(time.perf_counter())
+                yield line
+                await asyncio.sleep(0)              # let responses interleave
+
+        def write(payload):
+            latency = time.perf_counter() - sent.popleft()
+            if payload.get("code") == ERROR_OVERLOADED:
+                shed.append(latency)
+            else:
+                served.append(latency)
+
+        await frontend.serve_lines(generate(), write)
+        await pool.drain()
+    except BaseException:
+        await pool.close()
+        raise
+
+    def percentile(values, q):
+        return float(np.percentile(values, q)) if values else 0.0
+
+    return {
+        "num_queries": len(queries),
+        "max_inflight": max_inflight,
+        "unbounded_p50_s": percentile(unbounded, 50),
+        "unbounded_p95_s": percentile(unbounded, 95),
+        "shed_served": len(served),
+        "shed_rejected": len(shed),
+        "shed_served_p50_s": percentile(served, 50),
+        "shed_served_p95_s": percentile(served, 95),
+        "frontend": frontend.stats(),
+    }
+
+
+def bench_worker_scaling(graph, repeats, quick):
+    """The PR 8 record: pool scaling, shared index segments, overload."""
+    method = "sling"
+    config = {"epsilon": 1e-3, "seed": SEED}
+    num_queries = 48 if quick else 120
+    rng = np.random.default_rng(SEED)
+    workload = []
+    for index in range(num_queries):
+        source = int(rng.integers(0, graph.num_nodes))
+        if index % 4 == 0:
+            workload.append(TopKQuery(source, 10, method=method))
+        else:
+            target = int(rng.integers(0, graph.num_nodes))
+            workload.append(SinglePairQuery(source, target, method=method))
+
+    with tempfile.TemporaryDirectory() as index_dir:
+        algorithm = registry.create(method, graph, config)
+        algorithm.preprocess()
+        index_path = os.path.join(index_dir, f"{graph.name}.{method}.npz")
+        algorithm.save_index(index_path, compressed=False)
+        index_bytes = os.path.getsize(index_path)
+
+        def factory(mmap=True):
+            return QueryPlanner(graph, method_configs={method: config},
+                                index_dir=index_dir, index_mmap=mmap,
+                                cache_entries=0)
+
+        # Single-process baseline: same workload through one planner.
+        planner = factory(mmap=False)
+        reference = [outcome_to_wire(outcome)
+                     for outcome in planner.answer(workload)]
+        single_s = _best(lambda: list(planner.answer(workload)), repeats)
+
+        scaling = {}
+        bit_identical = None
+        for num_workers in ((1, 2) if quick else (1, 2, 4)):
+            best, payloads, memory = asyncio.run(_pool_throughput(
+                lambda: factory(mmap=True), workload, num_workers, repeats))
+            if num_workers == 1:
+                bit_identical = ([_stable_wire(p) for p in payloads]
+                                 == [_stable_wire(r) for r in reference])
+            scaling[str(num_workers)] = {
+                "seconds": best,
+                "queries_per_s": len(workload) / best if best > 0 else 0.0,
+                "speedup_vs_single_process": single_s / best if best > 0
+                else float("inf"),
+                "mean_worker_private_bytes": (
+                    float(np.mean([row["private"] for row in memory]))
+                    if memory else None),
+                "mean_worker_pss_bytes": (
+                    float(np.mean([row["pss"] for row in memory]))
+                    if memory else None),
+            }
+
+        # Shared-memory A/B at fixed width: read-only mmap segments vs each
+        # worker materializing its own copy of the index arrays.
+        _, _, mmap_memory = asyncio.run(_pool_throughput(
+            lambda: factory(mmap=True), workload[:8], 2, 1))
+        _, _, copied_memory = asyncio.run(_pool_throughput(
+            lambda: factory(mmap=False), workload[:8], 2, 1))
+
+        overload = asyncio.run(_overload_run(
+            lambda: factory(mmap=True), graph.num_nodes,
+            [q for q in workload if isinstance(q, SinglePairQuery)]
+            * (2 if quick else 4),
+            max_inflight=8))
+
+    def mean_private(rows):
+        return float(np.mean([row["private"] for row in rows])) if rows else None
+
+    return {
+        "method": method,
+        "config": config,
+        "num_queries": len(workload),
+        "index_bytes": index_bytes,
+        "single_process_s": single_s,
+        "single_process_qps": len(workload) / single_s if single_s > 0 else 0.0,
+        "bit_identical_to_single_process": bit_identical,
+        "workers": scaling,
+        "shared_memory": {
+            "num_workers": 2,
+            "mmap_mean_private_bytes": mean_private(mmap_memory),
+            "materialized_mean_private_bytes": mean_private(copied_memory),
+        },
+        "overload": overload,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # workload: deadline-checkpoint overhead — no deadline vs an unexpirable one
 # --------------------------------------------------------------------------- #
 def bench_deadline_overhead(graph, method, config, repeats):
@@ -293,6 +530,10 @@ def main() -> int:
             entry["workloads"]["deadline_overhead"] = bench_deadline_overhead(
                 graph, "parsim", {"iterations": 10},
                 repeats if args.quick else 9)
+            # PR 8: supervised worker pool — scaling, shared-memory index
+            # segments, overload shedding.
+            entry["workloads"]["worker_scaling"] = bench_worker_scaling(
+                graph, repeats, args.quick)
         top_k_section = {}
         for (dataset, method), config in top_k_jobs.items():
             if dataset != name:

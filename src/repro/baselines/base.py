@@ -73,17 +73,118 @@ class IndexPersistenceError(RuntimeError):
     """Raised when an index cannot be saved or loaded."""
 
 
-def _array_checksum(array: np.ndarray) -> int:
-    """CRC-32 over an array's dtype, shape and raw bytes.
+#: Chunk size of the streamed checksum walk (bytes).  Large enough that the
+#: per-chunk Python overhead vanishes, small enough that verifying a
+#: memory-mapped multi-GB array never holds more than one chunk resident.
+_CHECKSUM_CHUNK_BYTES = 1 << 22
+
+
+def _array_checksum(array: np.ndarray,
+                    chunk_bytes: int = _CHECKSUM_CHUNK_BYTES) -> int:
+    """CRC-32 over an array's dtype, shape and raw bytes (C order).
 
     Catches the corruption modes an intact zip container can still hide
     (bit flips inside a stored-uncompressed member, a member swapped between
     two valid files) on top of the truncation errors the container itself
     reports.
+
+    The walk is *streamed* in fixed-size chunks: a memory-mapped array is
+    verified page-wise without ever materializing a full in-RAM copy, so N
+    workers can CRC-check a multi-GB shared index at attach time for the
+    cost of one sequential read.  The digest is byte-identical to a
+    whole-buffer ``crc32(array.tobytes())`` for every layout.
     """
-    array = np.ascontiguousarray(array)
+    array = np.asarray(array)
     header = f"{array.dtype.str}|{array.shape}".encode()
-    return zlib.crc32(array.tobytes(), zlib.crc32(header)) & 0xFFFFFFFF
+    crc = zlib.crc32(header)
+    if array.ndim == 0 or array.nbytes <= chunk_bytes:
+        return zlib.crc32(np.ascontiguousarray(array).tobytes(), crc) & 0xFFFFFFFF
+    if array.flags.c_contiguous:
+        # Zero-copy path: slice the raw buffer; only the touched pages of a
+        # memmap become resident, and they can be evicted behind the walk.
+        view = memoryview(array).cast("B")
+        for start in range(0, len(view), chunk_bytes):
+            crc = zlib.crc32(view[start:start + chunk_bytes], crc)
+        return crc & 0xFFFFFFFF
+    # Non-contiguous: stream C-order blocks of whole outer rows.  The
+    # concatenation of per-block C-order bytes equals the array's C-order
+    # byte stream, so the digest matches the contiguous path exactly.
+    row_bytes = max(1, array.nbytes // max(1, array.shape[0]))
+    rows = max(1, chunk_bytes // row_bytes)
+    for start in range(0, array.shape[0], rows):
+        block = np.ascontiguousarray(array[start:start + rows])
+        crc = zlib.crc32(block.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _npy_member_array(path: Path, info: "zipfile.ZipInfo") -> np.ndarray:
+    """Memory-map one *stored* (uncompressed) ``.npy`` member of an npz file.
+
+    The member's bytes sit contiguously in the zip container, so the array
+    can be mapped read-only straight out of the file: N processes attaching
+    the same index share one page-cache copy.  Only the npy header (~100
+    bytes) is actually read here.
+    """
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise IndexPersistenceError(
+                f"{path}: zip local header of {info.filename!r} is corrupt")
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        data_start = handle.tell()
+        version = np.lib.format.read_magic(handle)
+        read_header = getattr(np.lib.format, "_read_array_header", None)
+        if read_header is not None:
+            shape, fortran, dtype = read_header(handle, version)
+        elif version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        else:
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        offset = handle.tell()
+        if dtype.hasobject:
+            raise IndexPersistenceError(
+                f"{path}: member {info.filename!r} holds Python objects")
+        count = int(np.prod(shape)) if shape else 1
+        if count == 0 or len(shape) == 0:
+            # Empty and 0-d members are not mappable; read the few bytes.
+            data = handle.read(count * dtype.itemsize)
+            array = np.frombuffer(data, dtype=dtype, count=count)
+            return array.reshape(shape, order="F" if fortran else "C")
+        expected_end = offset + count * dtype.itemsize
+        if expected_end > data_start + info.file_size + 16:
+            raise IndexPersistenceError(
+                f"{path}: member {info.filename!r} is truncated")
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset,
+                     shape=shape, order="F" if fortran else "C")
+
+
+def _mmap_npz_payload(path: Path) -> Dict[str, np.ndarray]:
+    """Open an npz as a dict of read-only arrays, memory-mapping what it can.
+
+    Members stored uncompressed (``np.savez`` / ``save_index(compressed=
+    False)``) come back as ``np.memmap`` views sharing the page cache across
+    processes; deflated members (and the tiny empty/0-d ones) fall back to a
+    per-member materialized load, so a compressed index still loads — it
+    just is not shared.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    fallback: List[str] = []
+    with zipfile.ZipFile(path) as container:
+        for info in container.infolist():
+            name = info.filename
+            key = name[:-4] if name.endswith(".npy") else name
+            if info.compress_type == zipfile.ZIP_STORED and name.endswith(".npy"):
+                arrays[key] = _npy_member_array(path, info)
+            else:
+                fallback.append(key)
+    if fallback:
+        with np.load(path, allow_pickle=False) as data:
+            for key in fallback:
+                arrays[key] = data[key]
+    return arrays
 
 
 class SimRankAlgorithm(abc.ABC):
@@ -208,7 +309,7 @@ class SimRankAlgorithm(abc.ABC):
         raise IndexPersistenceError(
             f"{self.name} does not implement index persistence")
 
-    def save_index(self, path: PathLike) -> Path:
+    def save_index(self, path: PathLike, *, compressed: bool = True) -> Path:
         """Persist the method's index to ``path`` (npz), preprocessing if needed.
 
         The file carries the algorithm name, decay, a fingerprint of the
@@ -217,6 +318,11 @@ class SimRankAlgorithm(abc.ABC):
         index into SLING, an index built on a different graph, or a file
         corrupted at rest fails loudly instead of silently returning wrong
         scores.
+
+        ``compressed=False`` stores the arrays raw (``np.savez``): the file
+        is larger, but :meth:`load_index` with ``mmap_mode='r'`` can then
+        memory-map every member, so N serving workers attach one shared
+        page-cache copy instead of N materialized heaps.
 
         The write is crash-safe: the npz is assembled in a temporary file in
         the target directory, fsynced, and atomically renamed over ``path``
@@ -250,9 +356,10 @@ class SimRankAlgorithm(abc.ABC):
             path = path.with_name(path.name + ".npz")
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp_path = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        writer = np.savez_compressed if compressed else np.savez
         try:
             with open(tmp_path, "wb") as handle:
-                np.savez_compressed(handle, **envelope, **payload)
+                writer(handle, **envelope, **payload)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, path)
@@ -274,12 +381,21 @@ class SimRankAlgorithm(abc.ABC):
             pass
         return path
 
-    def load_index(self, path: PathLike) -> "SimRankAlgorithm":
+    def load_index(self, path: PathLike, *,
+                   mmap_mode: Optional[str] = None) -> "SimRankAlgorithm":
         """Load an index previously written by :meth:`save_index`.
 
         Verifies the format version, per-array checksums, algorithm name,
         decay and graph fingerprint before handing the payload to the
         subclass, then marks the instance prepared.  Returns ``self``.
+
+        With ``mmap_mode='r'`` the arrays of an *uncompressed* index file
+        are memory-mapped read-only instead of materialized: attach time is
+        O(header) per array, the kernel shares one page-cache copy between
+        every process mapping the same file, and the checksum verification
+        streams over the mapping in fixed-size chunks, so even a multi-GB
+        index never forces a full-RAM copy.  Compressed members degrade
+        gracefully to a materialized load.
 
         Truncated, garbage or internally inconsistent files surface as
         :class:`IndexPersistenceError` naming the path — never as a raw
@@ -290,11 +406,18 @@ class SimRankAlgorithm(abc.ABC):
         if not self.index_based:
             raise IndexPersistenceError(
                 f"{self.name} is index-free; there is no index to load")
+        if mmap_mode not in (None, "r"):
+            raise ValueError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
         path = Path(path)
         try:
-            with np.load(path, allow_pickle=False) as data:
-                payload = {key: data[key] for key in data.files}
+            if mmap_mode == "r":
+                payload = _mmap_npz_payload(path)
+            else:
+                with np.load(path, allow_pickle=False) as data:
+                    payload = {key: data[key] for key in data.files}
         except FileNotFoundError:
+            raise
+        except IndexPersistenceError:
             raise
         except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as error:
             raise IndexPersistenceError(

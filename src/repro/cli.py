@@ -27,7 +27,11 @@ The console script ``repro-simrank`` is installed by ``pip install -e .``;
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import os
+import random
+import signal
 import sys
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Sequence, TextIO
@@ -50,10 +54,12 @@ from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
 from repro.service import (
     FaultPlan,
+    Frontend,
     QueryPlanner,
-    query_from_dict,
-    result_to_dict,
-    validate_query,
+    WorkerPool,
+    aiter_lines,
+    outcome_to_wire,
+    parse_wire_line,
 )
 
 _FIGURE_DRIVERS = {
@@ -147,6 +153,24 @@ def _build_parser() -> argparse.ArgumentParser:
     answer_parser.add_argument("--fault-plan",
                                help="JSON fault-injection plan for resilience "
                                     "testing (see repro.service.faults)")
+    answer_parser.add_argument("--workers", type=int, default=0,
+                               help="serve through a supervised pool of N "
+                                    "forked worker processes (0 = in-process "
+                                    "serving, the default)")
+    answer_parser.add_argument("--max-inflight", type=int, default=64,
+                               help="admission window: accepted-but-unanswered "
+                                    "queries allowed at once (pool mode)")
+    answer_parser.add_argument("--queue-watermark", type=int, default=None,
+                               help="shed once the pool's queue depth crosses "
+                                    "this (default 4x --max-inflight)")
+    answer_parser.add_argument("--shed", action="store_true",
+                               help="shed overload with structured "
+                                    "'overloaded' responses instead of "
+                                    "pausing the input (pool mode)")
+    answer_parser.add_argument("--chaos-kill-every", type=int, default=0,
+                               metavar="N",
+                               help="chaos testing: SIGKILL a random worker "
+                                    "after every N responses (pool mode)")
 
     index_parser = subparsers.add_parser(
         "index", help="build / load persisted indices of index-based methods")
@@ -159,6 +183,10 @@ def _build_parser() -> argparse.ArgumentParser:
     build_parser.add_argument("--out", help="output file (default <index-dir>/<graph>.<method>.npz)")
     build_parser.add_argument("--index-dir", default=".",
                               help="directory for the default output path")
+    build_parser.add_argument("--uncompressed", action="store_true",
+                              help="store arrays uncompressed so serving "
+                                   "workers can attach them as read-only "
+                                   "memory maps (shared page cache)")
 
     load_parser = index_subparsers.add_parser(
         "load", help="load a persisted index and report (or query) it")
@@ -280,10 +308,9 @@ def _iter_query_lines(stream: TextIO) -> Iterator[str]:
 
 def _command_answer(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    fault_plan = None
     if args.fault_plan:
         try:
-            fault_plan = FaultPlan.from_file(args.fault_plan)
+            FaultPlan.from_file(args.fault_plan)
         except (OSError, ValueError) as error:
             print(f"error: cannot load fault plan {args.fault_plan}: {error}",
                   file=sys.stderr)
@@ -300,74 +327,194 @@ def _command_answer(args: argparse.Namespace) -> int:
             name: _method_config(args, name,
                                  accepted_params_only=(name != method))
             for name in registry.available()}
-        planner = QueryPlanner(graph, context=GraphContext.shared(graph),
-                               default_method=method,
-                               method_configs=method_configs,
-                               cache_entries=args.cache_entries,
-                               index_dir=args.index_dir,
-                               save_indices=args.save_indices,
-                               deadline_ms=args.deadline_ms,
-                               fault_plan=fault_plan)
+        planner_factory = _planner_factory(args, graph, method, method_configs)
+        planner_factory()               # fail fast on a bad configuration
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.batch_size < 1:
         print("error: --batch-size must be positive", file=sys.stderr)
         return 2
+    if args.workers < 0 or args.max_inflight < 1:
+        print("error: --workers must be >= 0 and --max-inflight >= 1",
+              file=sys.stderr)
+        return 2
+    if args.workers:
+        return asyncio.run(_serve_pool(args, graph, planner_factory))
+    return _serve_in_process(args, graph, planner_factory())
+
+
+def _planner_factory(args: argparse.Namespace, graph: DiGraph, method: str,
+                     method_configs: Dict[str, Dict[str, Any]]):
+    """A zero-argument planner builder shared by both serving modes.
+
+    In pool mode the factory runs inside each forked worker: the graph and
+    the shared :class:`GraphContext` it closes over arrive copy-on-write,
+    persisted indices attach as read-only memory maps, and the fault plan is
+    re-read per process so injected-fault state stays process-local.  The
+    pool serializes each query's *remaining* deadline with its dispatch, so
+    the worker planner gets no standing ``deadline_ms`` of its own.
+    """
+    context = GraphContext.shared(graph)
+    in_process = args.workers == 0
+
+    def factory() -> QueryPlanner:
+        fault_plan = (FaultPlan.from_file(args.fault_plan)
+                      if args.fault_plan else None)
+        return QueryPlanner(graph, context=context,
+                            default_method=method,
+                            method_configs=method_configs,
+                            cache_entries=args.cache_entries,
+                            index_dir=args.index_dir,
+                            save_indices=args.save_indices,
+                            index_mmap=not in_process,
+                            deadline_ms=args.deadline_ms if in_process else None,
+                            fault_plan=fault_plan)
+
+    return factory
+
+
+def _serve_in_process(args: argparse.Namespace, graph: DiGraph,
+                      planner: QueryPlanner) -> int:
+    """The single-process serving loop (``--workers 0``).
+
+    SIGINT/SIGTERM and a client hang-up (``BrokenPipeError`` on stdout)
+    drain gracefully: the in-hand batch is answered, the final ``--stats``
+    record is emitted, and the exit code is 0 — a stopped server is not a
+    failed one.
+    """
+    stop_state = {"stop": False}
+
+    def _request_stop(_signum, _frame):
+        stop_state["stop"] = True
+
+    previous_handlers: Dict[int, Any] = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+        except ValueError:          # not the main thread (embedded use)
+            pass
 
     stream = sys.stdin if args.queries == "-" else open(args.queries, "r")
     failures = 0
     aborted = False
+    stopped = False
     try:
         # Each item is ("query", query) or ("error", payload): error lines
         # buffer alongside their batch so output line N always answers
         # input line N (clients correlate positionally).
         batch: list = []
         for line in _iter_query_lines(stream):
-            batch.append(_parse_query_line(line, graph))
-            if len(batch) >= args.batch_size:
+            batch.append(parse_wire_line(line, graph.num_nodes))
+            stopped = stop_state["stop"]
+            if len(batch) >= args.batch_size or stopped:
                 failures += _answer_batch(planner, batch)
                 batch = []
                 if args.max_errors is not None and failures > args.max_errors:
                     aborted = True
                     break
+                if stopped:
+                    break
         if batch and not aborted:
             failures += _answer_batch(planner, batch)
             if args.max_errors is not None and failures > args.max_errors:
                 aborted = True
+    except BrokenPipeError:
+        # The client hung up mid-stream; nothing more can be written, and
+        # the interpreter's exit-time stdout flush must not traceback.
+        stopped = True
+        try:
+            sys.stdout = open(os.devnull, "w")
+        except OSError:
+            pass
     finally:
         if stream is not sys.stdin:
             stream.close()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     if aborted:
         print(f"error: aborting after {failures} failed lines "
               f"(--max-errors {args.max_errors})", file=sys.stderr)
     if args.stats:
-        print("# serving stats: " + json.dumps(planner.stats()), file=sys.stderr)
-        breakers = planner.breakers()
-        if breakers:
-            print("# breakers: " + json.dumps(breakers), file=sys.stderr)
+        print("# serving stats: " + json.dumps(planner.stats()),
+              file=sys.stderr)
+    if aborted:
+        return 1
+    if stopped:
+        return 0
     return 0 if failures == 0 else 1
 
 
-def _parse_query_line(line: str, graph: DiGraph) -> tuple:
-    """One wire line -> ("query", query) or ("error", structured payload)."""
+class _ChaosKiller:
+    """Response-driven chaos: SIGKILL a random live worker every N answers."""
+
+    def __init__(self, pool: WorkerPool, every: int, seed: int = 0):
+        self.pool = pool
+        self.every = int(every)
+        self.kills = 0
+        self._responses = 0
+        self._rng = random.Random(seed)
+
+    def __call__(self, _payload: Dict[str, Any]) -> None:
+        self._responses += 1
+        if self._responses % self.every:
+            return
+        pids = self.pool.pids()
+        if pids:
+            self.kills += 1
+            os.kill(self._rng.choice(pids), signal.SIGKILL)
+
+
+async def _serve_pool(args: argparse.Namespace, graph: DiGraph,
+                      planner_factory) -> int:
+    """The supervised multi-worker serving loop (``--workers N``)."""
+    pool = WorkerPool(planner_factory, num_workers=args.workers,
+                      batch_size=args.batch_size,
+                      deadline_ms=args.deadline_ms)
+    await pool.start()
+    frontend = Frontend(pool, graph.num_nodes,
+                        max_inflight=args.max_inflight,
+                        queue_watermark=args.queue_watermark,
+                        shed=args.shed,
+                        deadline_ms=args.deadline_ms)
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, frontend.request_stop)
+            installed.append(signum)
+        except (ValueError, NotImplementedError, RuntimeError):
+            pass
+    chaos = (_ChaosKiller(pool, args.chaos_kill_every)
+             if args.chaos_kill_every else None)
+    stream = sys.stdin if args.queries == "-" else open(args.queries, "r")
+
+    def write(payload: Dict[str, Any]) -> None:
+        print(json.dumps(payload), flush=True)
+
     try:
-        payload = json.loads(line)
-    except json.JSONDecodeError as error:
-        return ("error", {"error": str(error), "code": "parse_error",
-                          "line": line})
-    try:
-        if not isinstance(payload, dict):
-            raise ValueError("query line must be a JSON object")
-        query = query_from_dict(payload)
-        validate_query(query, graph.num_nodes)
-        if query.method is not None \
-                and query.method not in registry.available():
-            raise ValueError(f"unknown method {query.method!r}")
-        return ("query", query)
-    except (ValueError, KeyError) as error:
-        return ("error", {"error": str(error), "code": "invalid_query",
-                          "line": line})
+        lines = aiter_lines(stream) if stream is sys.stdin else iter(stream)
+        failures = await frontend.serve_lines(lines, write, on_response=chaos,
+                                              max_errors=args.max_errors)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+    final_stats = await pool.drain()
+    if args.stats:
+        record = {"mode": "pool", "frontend": frontend.stats(),
+                  "workers": final_stats}
+        if chaos is not None:
+            record["chaos_kills"] = chaos.kills
+        print("# serving stats: " + json.dumps(record), file=sys.stderr)
+    if frontend.aborted:
+        print(f"error: aborting after {failures} failed lines "
+              f"(--max-errors {args.max_errors})", file=sys.stderr)
+        return 1
+    if frontend.stopping:
+        return 0
+    return 0 if failures == 0 else 1
 
 
 def _answer_batch(planner: QueryPlanner, batch: list) -> int:
@@ -384,26 +531,9 @@ def _answer_batch(planner: QueryPlanner, batch: list) -> int:
             failures += 1
             print(json.dumps(item))
             continue
-        outcome = next(outcomes)
-        if outcome.error is not None:
+        payload = outcome_to_wire(next(outcomes))
+        if "error" in payload:
             failures += 1
-            payload = {"error": outcome.error.get("message", ""),
-                       **{key: value for key, value in outcome.error.items()
-                          if key != "message"}}
-            payload["method"] = outcome.plan.method
-            payload["route"] = outcome.plan.route
-            print(json.dumps(payload))
-            continue
-        payload = result_to_dict(outcome.result)
-        payload["method"] = outcome.plan.method
-        payload["route"] = outcome.plan.route
-        if outcome.plan.batched:
-            payload["batched"] = True
-        if outcome.degraded:
-            payload["degraded"] = True
-            bound = outcome.result.stats.get("certified_bound")
-            if bound is not None:
-                payload["certified_bound"] = float(bound)
         print(json.dumps(payload))
     return failures
 
@@ -476,7 +606,7 @@ def _command_index_build(args: argparse.Namespace) -> int:
         return 2
     algorithm.preprocess()
     target = Path(args.out) if args.out else _default_index_path(args.index_dir, graph, method)
-    path = algorithm.save_index(target)
+    path = algorithm.save_index(target, compressed=not args.uncompressed)
     print(f"# {method} index on {graph.name}: {algorithm.index_bytes()} bytes, "
           f"preprocessing {algorithm.preprocessing_seconds:.3f}s -> {path}")
     return 0

@@ -16,11 +16,17 @@ the algorithm layer executes it:
 * :mod:`repro.service.faults` — deterministic fault injection for
   resilience testing;
 * :mod:`repro.service.adaptive` — adaptive top-k refinement over any
-  registered method's accuracy knob.
+  registered method's accuracy knob;
+* :mod:`repro.service.workers` — the supervised multi-process worker pool
+  (fork + shared-memory index segments, crash recovery, exactly-once
+  re-dispatch);
+* :mod:`repro.service.frontend` — the asyncio front end (admission control,
+  load shedding, ordered JSONL responses, graceful drain).
 """
 
 from repro.service.adaptive import RefinedTopK, refine_top_k
 from repro.service.faults import FaultPlan, FaultRule, InjectedFault
+from repro.service.frontend import Frontend, aiter_lines, parse_wire_line
 from repro.service.planner import (
     ROUTE_CACHED,
     ROUTE_CACHED_DERIVED,
@@ -31,6 +37,7 @@ from repro.service.planner import (
     QueryPlan,
     QueryPlanner,
     ResultCache,
+    outcome_to_wire,
 )
 from repro.service.queries import (
     Query,
@@ -45,10 +52,13 @@ from repro.service.queries import (
     validate_query,
 )
 from repro.service.resilience import (
+    ERROR_DRAINING,
+    ERROR_OVERLOADED,
     ERROR_PARSE,
     ERROR_ROUTE_FAILED,
     ERROR_TIMEOUT,
     ERROR_VALIDATION,
+    ERROR_WORKER_LOST,
     CircuitBreaker,
     Deadline,
     DeadlineExceeded,
@@ -56,16 +66,21 @@ from repro.service.resilience import (
     checkpoint,
     deadline_scope,
 )
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",
+    "ERROR_DRAINING",
+    "ERROR_OVERLOADED",
     "ERROR_PARSE",
     "ERROR_ROUTE_FAILED",
     "ERROR_TIMEOUT",
     "ERROR_VALIDATION",
+    "ERROR_WORKER_LOST",
     "FaultPlan",
+    "Frontend",
     "FaultRule",
     "InjectedFault",
     "Query",
@@ -84,9 +99,13 @@ __all__ = [
     "SinglePairQuery",
     "SingleSourceQuery",
     "TopKQuery",
+    "WorkerPool",
     "active_deadline",
+    "aiter_lines",
     "checkpoint",
     "deadline_scope",
+    "outcome_to_wire",
+    "parse_wire_line",
     "query_from_dict",
     "query_to_dict",
     "refine_top_k",

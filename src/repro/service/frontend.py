@@ -1,0 +1,337 @@
+"""Asyncio front end for the worker pool: admission, shedding, ordering.
+
+The :class:`~repro.service.workers.WorkerPool` answers typed queries; this
+module turns it into a *server*.  The front end owns the three policies a
+pool must not know about:
+
+* **Admission control.**  At most ``max_inflight`` accepted queries may be
+  unresolved at once.  Past that, behaviour splits by mode: the default
+  *backpressure* mode simply stops reading the input until the head of the
+  line resolves (correct for a finite stream or a well-behaved client),
+  while *shed* mode answers excess lines immediately with a structured
+  ``{"code": "overloaded"}`` payload — the served queries keep their
+  latency, the flood pays with rejections.  A second watermark on the
+  pool's queue depth sheds even below the in-flight cap when the workers
+  fall behind.
+* **Ordered responses.**  Workers finish out of order (different slots,
+  crashes, re-dispatch), but JSONL clients correlate positionally, so the
+  front end holds a pending deque and writes strictly in input order:
+  output line N always answers input line N.
+* **Graceful drain.**  :meth:`request_stop` (wired to SIGINT/SIGTERM by the
+  CLI) stops the read loop at the next line boundary; everything already
+  accepted is flushed, then the caller drains the pool and emits final
+  stats.  A ``BrokenPipeError`` from the output is treated the same way —
+  the client hung up, so stop reading, resolve silently, exit clean.
+
+Parsing/validation (:func:`parse_wire_line`) happens here, before
+admission, so malformed lines cost a structured error and never a worker
+round-trip.  The same function serves the single-process CLI loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import (Any, AsyncIterator, Callable, Deque, Dict, Iterable,
+                    Optional, Tuple, Union)
+
+from repro.algorithms import registry
+from repro.service.queries import (Query, QueryValidationError,
+                                   query_from_dict, validate_query)
+from repro.service.resilience import (ERROR_OVERLOADED, ERROR_PARSE,
+                                      ERROR_VALIDATION)
+from repro.service.workers import WorkerPool
+
+#: A parsed line: ("query", Query) or ("error", structured payload).
+ParsedLine = Tuple[str, Union[Query, Dict[str, Any]]]
+
+
+def parse_wire_line(line: str, num_nodes: int) -> ParsedLine:
+    """One JSONL wire line -> ("query", query) or ("error", payload).
+
+    Split from the planner path so both the single-process CLI loop and the
+    pool front end reject garbage identically: JSON decode errors become
+    ``parse_error``, shape/validation problems become ``invalid_query``,
+    and either way the payload echoes the offending line.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        return ("error", {"error": str(error), "code": ERROR_PARSE,
+                          "line": line})
+    try:
+        if not isinstance(payload, dict):
+            raise ValueError("query line must be a JSON object")
+        query = query_from_dict(payload)
+        validate_query(query, num_nodes)
+        if query.method is not None \
+                and query.method not in registry.available():
+            raise ValueError(f"unknown method {query.method!r}")
+        return ("query", query)
+    except (QueryValidationError, ValueError, KeyError) as error:
+        return ("error", {"error": str(error), "code": ERROR_VALIDATION,
+                          "line": line})
+
+
+async def aiter_lines(stream) -> AsyncIterator[str]:
+    """Async line iterator over a pipe-like stream (stdin serving).
+
+    Registers the stream's fd with the event loop so a stalled client never
+    blocks the supervisor's heartbeat monitoring.  Falls back to plain
+    synchronous iteration when the fd cannot be watched (a regular file
+    redirected to stdin — which never stalls, so blocking reads are fine).
+    """
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    try:
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), stream)
+    except (ValueError, OSError, NotImplementedError):
+        for line in stream:
+            yield line
+        return
+    while True:
+        raw = await reader.readline()
+        if not raw:
+            return
+        yield raw.decode("utf-8", errors="replace")
+
+
+async def _as_async(lines: Union[Iterable[str], AsyncIterator[str]]
+                    ) -> AsyncIterator[str]:
+    if hasattr(lines, "__aiter__"):
+        async for line in lines:  # type: ignore[union-attr]
+            yield line
+    else:
+        for line in lines:  # type: ignore[union-attr]
+            yield line
+
+
+class Frontend:
+    """Admission control + ordered JSONL serving over a :class:`WorkerPool`."""
+
+    def __init__(self, pool: WorkerPool, num_nodes: int, *,
+                 max_inflight: int = 64,
+                 queue_watermark: Optional[int] = None,
+                 shed: bool = False,
+                 deadline_ms: Optional[float] = None):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.pool = pool
+        self.num_nodes = int(num_nodes)
+        self.max_inflight = int(max_inflight)
+        #: Shed once the pool's accepted-but-unanswered depth crosses this,
+        #: even with in-flight headroom (the workers are the bottleneck).
+        self.queue_watermark = (int(queue_watermark)
+                                if queue_watermark is not None
+                                else 4 * self.max_inflight)
+        self.shed = bool(shed)
+        self.deadline_ms = deadline_ms
+        self._inflight = 0
+        self._capacity = asyncio.Event()
+        self._capacity.set()
+        self._stopping = False
+        self._aborted = False
+        self._broken_pipe = False
+        self._counters: Dict[str, int] = {
+            "lines": 0, "accepted": 0, "shed": 0,
+            "parse_errors": 0, "invalid": 0, "responses": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # drain signalling
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Graceful drain: stop reading at the next line boundary.
+
+        Everything already accepted still gets its response; the CLI then
+        drains the pool and emits the final stats record.
+        """
+        self._stopping = True
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping
+
+    @property
+    def aborted(self) -> bool:
+        """True when ``max_errors`` tripped (an error exit, not a drain)."""
+        return self._aborted
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def _overloaded(self) -> bool:
+        return (self._inflight >= self.max_inflight
+                or self.pool.queue_depth() >= self.queue_watermark)
+
+    def _admit(self, line: str
+               ) -> Union[Dict[str, Any], "asyncio.Future[Dict[str, Any]]"]:
+        """Parse + admission-check one line.
+
+        Returns either an immediate payload (parse error, validation error,
+        shed) or the pool future of an accepted query.
+        """
+        self._counters["lines"] += 1
+        kind, item = parse_wire_line(line, self.num_nodes)
+        if kind == "error":
+            assert isinstance(item, dict)
+            if item["code"] == ERROR_PARSE:
+                self._counters["parse_errors"] += 1
+            else:
+                self._counters["invalid"] += 1
+            return item
+        if self.shed and self._overloaded():
+            self._counters["shed"] += 1
+            return {"error": "server overloaded: query shed by admission "
+                             "control",
+                    "code": ERROR_OVERLOADED,
+                    "inflight": self._inflight,
+                    "queue_depth": self.pool.queue_depth()}
+        self._counters["accepted"] += 1
+        self._inflight += 1
+        if self._inflight >= self.max_inflight:
+            self._capacity.clear()
+        future = self.pool.submit(item, deadline_ms=self.deadline_ms)
+        future.add_done_callback(lambda _f: self._release())
+        return future
+
+    def _release(self) -> None:
+        self._inflight -= 1
+        self._capacity.set()
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    async def serve_lines(self,
+                          lines: Union[Iterable[str], AsyncIterator[str]],
+                          write: Callable[[Dict[str, Any]], None], *,
+                          on_response: Optional[Callable[[Dict[str, Any]],
+                                                         None]] = None,
+                          max_errors: Optional[int] = None) -> int:
+        """Serve a JSONL stream; returns the number of failed lines.
+
+        ``lines`` yields raw lines (blank lines and ``#`` comments are
+        skipped); ``write`` receives one payload dict per surviving input
+        line, strictly in input order.  ``on_response`` observes every
+        payload after it is written (the chaos hook).  With ``max_errors``,
+        the stream aborts (drain-style) once more failures than that have
+        been emitted.
+        """
+        pending: Deque[Union[Dict[str, Any],
+                             "asyncio.Future[Dict[str, Any]]"]] = deque()
+        arrived = asyncio.Event()
+        done_reading = False
+        failures = 0
+
+        async def flush_one() -> None:
+            nonlocal failures
+            item = pending.popleft()
+            payload = (await item) if isinstance(item, asyncio.Future) else item
+            if "error" in payload:
+                failures += 1
+            self._counters["responses"] += 1
+            if not self._broken_pipe:
+                try:
+                    write(payload)
+                except BrokenPipeError:
+                    self._broken_pipe = True
+                    self._stopping = True
+            if on_response is not None:
+                on_response(payload)
+
+        async def writer() -> None:
+            # Runs concurrently with the read loop so answers stream out as
+            # the workers finish them: an interactive client that holds its
+            # input open while waiting for a response must not deadlock the
+            # flush behind the next (never-arriving) input line.
+            while True:
+                while pending:
+                    await flush_one()
+                    if max_errors is not None and failures > max_errors:
+                        self._stopping = True
+                        self._aborted = True
+                if done_reading:
+                    return
+                arrived.clear()
+                await arrived.wait()
+
+        writer_task = asyncio.ensure_future(writer())
+        try:
+            async for raw in _as_async(lines):
+                if self._stopping:
+                    break
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                # Backpressure mode: a full in-flight window pauses the read
+                # loop until the writer retires the head of the line (shed
+                # mode instead answers the excess immediately inside _admit).
+                while (not self.shed and not self._stopping
+                        and self._inflight >= self.max_inflight):
+                    self._capacity.clear()
+                    await self._capacity.wait()
+                pending.append(self._admit(line))
+                arrived.set()
+        finally:
+            done_reading = True
+            arrived.set()
+        await writer_task
+        return failures
+
+    async def serve_connections(self, host: str, port: int):
+        """TCP JSONL server: one ordered response stream per connection.
+
+        Returns the listening :class:`asyncio.Server`; the caller decides
+        when to close it (typically on the same drain signal that stops the
+        stdin loop).  Connections share the pool and the admission window.
+        """
+
+        async def handle(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            async def gen() -> AsyncIterator[str]:
+                while True:
+                    raw = await reader.readline()
+                    if not raw:
+                        return
+                    yield raw.decode("utf-8", errors="replace")
+
+            def write(payload: Dict[str, Any]) -> None:
+                writer.write((json.dumps(payload) + "\n").encode())
+
+            try:
+                await self.serve_lines(gen(), write)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+        return await asyncio.start_server(handle, host, port)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serializable admission/shedding counters."""
+        snapshot: Dict[str, Any] = {key: int(value)
+                                    for key, value in self._counters.items()}
+        snapshot["inflight"] = self._inflight
+        snapshot["max_inflight"] = self.max_inflight
+        snapshot["queue_watermark"] = self.queue_watermark
+        snapshot["shed_mode"] = self.shed
+        snapshot["stopped_early"] = self._stopping
+        snapshot["aborted"] = self._aborted
+        snapshot["broken_pipe"] = self._broken_pipe
+        return snapshot
+
+
+__all__ = [
+    "Frontend",
+    "aiter_lines",
+    "parse_wire_line",
+]

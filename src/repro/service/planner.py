@@ -205,6 +205,11 @@ class QueryPlanner:
         ``<index_dir>/<graph>.<method>.npz`` on first touch instead of
         rebuilding; with ``save_indices=True`` a freshly built index is
         saved there for the next process.
+    index_mmap:
+        Attach persisted indices as read-only memory maps
+        (``load_index(..., mmap_mode='r')``) instead of materializing them:
+        the serving workers of :mod:`repro.service.workers` all share one
+        page-cache copy of each index file.
     deadline_ms:
         Default per-route-execution compute budget (None = unbounded); each
         :meth:`answer` call can override it.
@@ -222,6 +227,7 @@ class QueryPlanner:
                  cache_entries: int = 256,
                  index_dir: Optional[PathLike] = None,
                  save_indices: bool = False,
+                 index_mmap: bool = False,
                  deadline_ms: Optional[float] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  fault_plan: Optional[FaultPlan] = None):
@@ -233,6 +239,7 @@ class QueryPlanner:
         self.cache = ResultCache(cache_entries)
         self.index_dir = Path(index_dir) if index_dir is not None else None
         self.save_indices = save_indices
+        self.index_mmap = index_mmap
         self.deadline_ms = deadline_ms
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.fault_plan = fault_plan
@@ -307,7 +314,8 @@ class QueryPlanner:
         path = self.index_dir / f"{self.graph.name}.{method}.npz"
         if path.exists():
             try:
-                algorithm.load_index(path)
+                algorithm.load_index(
+                    path, mmap_mode="r" if self.index_mmap else None)
                 self._counters["index_loads"] += 1
                 return
             except IndexPersistenceError as error:
@@ -797,10 +805,17 @@ class QueryPlanner:
             rows.append({"route": f"{method}:{route}", **row})
         return rows
 
-    def stats(self) -> Dict[str, float]:
-        """Serving counters plus cache, breaker, and fault-injection totals."""
-        snapshot: Dict[str, float] = {key: float(value)
-                                      for key, value in self._counters.items()}
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters plus cache, breaker, and fault-injection totals.
+
+        The snapshot is **fully JSON-serializable** (floats, plus the
+        ``breakers`` list of plain string/number rows): the CLI's
+        ``--stats`` emits it verbatim with one ``json.dumps`` — no ad-hoc
+        formatting of nested objects — and the worker protocol ships it
+        across the process boundary unchanged.
+        """
+        snapshot: Dict[str, Any] = {key: float(value)
+                                    for key, value in self._counters.items()}
         snapshot["cache_hits"] = float(self.cache.hits)
         snapshot["cache_misses"] = float(self.cache.misses)
         snapshot["cache_entries"] = float(len(self.cache))
@@ -811,7 +826,38 @@ class QueryPlanner:
             1 for row in breaker_rows if row["state"] != STATE_CLOSED))
         snapshot["faults_injected"] = float(
             self.fault_plan.injected if self.fault_plan is not None else 0)
+        snapshot["breakers"] = self.breakers()
         return snapshot
+
+
+def outcome_to_wire(outcome: QueryOutcome, *, preview_k: int = 10) -> Dict[str, Any]:
+    """Serialize one :class:`QueryOutcome` as a JSONL answer-stream object.
+
+    The single-process CLI loop, the worker protocol and the socket front
+    end all emit exactly this shape: a result payload
+    (:func:`repro.service.queries.result_to_dict`) or a structured error
+    (``error`` + stable ``code``), annotated with the route taken and the
+    degradation certificate when present.
+    """
+    from repro.service.queries import result_to_dict
+
+    if outcome.error is not None:
+        payload: Dict[str, Any] = {
+            "error": outcome.error.get("message", ""),
+            **{key: value for key, value in outcome.error.items()
+               if key != "message"}}
+    else:
+        payload = result_to_dict(outcome.result, preview_k=preview_k)
+        if outcome.plan.batched:
+            payload["batched"] = True
+        if outcome.degraded:
+            payload["degraded"] = True
+            bound = outcome.result.stats.get("certified_bound")
+            if bound is not None:
+                payload["certified_bound"] = float(bound)
+    payload["method"] = outcome.plan.method
+    payload["route"] = outcome.plan.route
+    return payload
 
 
 __all__ = [
@@ -819,6 +865,7 @@ __all__ = [
     "QueryOutcome",
     "QueryPlanner",
     "ResultCache",
+    "outcome_to_wire",
     "ROUTE_CACHED",
     "ROUTE_CACHED_DERIVED",
     "ROUTE_NATIVE",

@@ -44,6 +44,9 @@ ERROR_TIMEOUT = "timeout"                # deadline expired, no certified degrad
 ERROR_ROUTE_FAILED = "route_failed"      # every candidate route raised
 ERROR_VALIDATION = "invalid_query"       # the query itself is malformed
 ERROR_PARSE = "parse_error"              # the wire line was not a query object
+ERROR_OVERLOADED = "overloaded"          # admission control shed the query
+ERROR_WORKER_LOST = "worker_lost"        # re-dispatch budget exhausted
+ERROR_DRAINING = "draining"              # server is shutting down gracefully
 
 #: Breaker states (returned by :meth:`CircuitBreaker.state`).
 STATE_CLOSED = "closed"
@@ -195,10 +198,13 @@ __all__ = [
     "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",
+    "ERROR_DRAINING",
+    "ERROR_OVERLOADED",
     "ERROR_PARSE",
     "ERROR_ROUTE_FAILED",
     "ERROR_TIMEOUT",
     "ERROR_VALIDATION",
+    "ERROR_WORKER_LOST",
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",

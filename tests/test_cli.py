@@ -249,3 +249,139 @@ class TestAnswerCommand:
                      "--batch-size", "0"])
         assert code == 2
         assert "batch-size" in capsys.readouterr().err
+
+
+class TestAnswerPoolMode:
+    @staticmethod
+    def _write_queries(tmp_path, lines):
+        path = tmp_path / "queries.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_pool_mode_serves_stream_in_order(self, tmp_path, capsys):
+        import json
+
+        lines = ['{"type": "single_pair", "source": %d, "target": %d}'
+                 % (i % 9, (i * 3) % 9) for i in range(24)]
+        lines.insert(5, "not json")
+        path = self._write_queries(tmp_path, lines)
+        code = main(["answer", "--dataset", "GQ", "--method", "parsim",
+                     "--queries", path, "--workers", "2", "--batch-size", "4",
+                     "--stats"])
+        captured = capsys.readouterr()
+        out = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert code == 1                     # the bad line is a failure
+        assert len(out) == len(lines)        # one response per input line
+        assert out[5]["code"] == "parse_error"
+        assert all("score" in line for line in out[:5] + out[6:])
+        stats = json.loads(captured.err.split("# serving stats: ", 1)[1])
+        assert stats["mode"] == "pool"
+        assert stats["frontend"]["accepted"] == len(lines) - 1
+        assert stats["workers"]["alive"] == 0          # drained and reaped
+        assert stats["workers"]["num_workers"] == 2
+
+    def test_pool_chaos_kill_loses_no_lines(self, tmp_path, capsys):
+        import json
+
+        lines = ['{"type": "top_k", "source": %d, "k": 5}' % (i % 11)
+                 for i in range(60)]
+        path = self._write_queries(tmp_path, lines)
+        code = main(["answer", "--dataset", "GQ", "--method", "parsim",
+                     "--queries", path, "--workers", "3", "--batch-size", "4",
+                     "--chaos-kill-every", "15", "--stats"])
+        captured = capsys.readouterr()
+        out = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert code == 0
+        assert len(out) == len(lines)
+        assert all("error" not in line for line in out)
+        stats = json.loads(captured.err.split("# serving stats: ", 1)[1])
+        assert stats["chaos_kills"] >= 1
+        assert stats["workers"]["deaths"] >= 1
+
+    def test_pool_rejects_bad_flags(self, tmp_path, capsys):
+        path = self._write_queries(tmp_path, ['{"type": "top_k", "source": 1}'])
+        code = main(["answer", "--dataset", "GQ", "--queries", path,
+                     "--workers", "2", "--max-inflight", "0"])
+        assert code == 2
+        assert "max-inflight" in capsys.readouterr().err
+
+
+class TestGracefulShutdown:
+    """Signal/broken-pipe shutdown needs real processes, not capsys."""
+
+    @staticmethod
+    def _spawn(extra_args, tmp_path=None, queries="-"):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "answer", "--dataset", "GQ",
+             "--method", "parsim", "--param", "iterations=5",
+             "--queries", queries, "--stats"] + extra_args,
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, cwd="/root/repo", env=env)
+
+    def test_sigterm_drains_single_process_loop(self):
+        import signal
+
+        proc = self._spawn(["--batch-size", "1"])
+        try:
+            proc.stdin.write('{"type": "single_pair", "source": 1, "target": 2}\n')
+            proc.stdin.flush()
+            first = proc.stdout.readline()
+            assert '"score"' in first
+            proc.send_signal(signal.SIGTERM)
+            # The line in flight when the signal lands is still answered.
+            proc.stdin.write('{"type": "single_pair", "source": 2, "target": 3}\n')
+            proc.stdin.flush()
+            out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0          # a stopped server did not fail
+        assert "serving stats" in err
+
+    def test_sigterm_drains_worker_pool(self):
+        import signal
+        import time
+
+        proc = self._spawn(["--workers", "2", "--batch-size", "2"])
+        try:
+            for i in range(4):
+                proc.stdin.write(
+                    '{"type": "single_pair", "source": %d, "target": %d}\n'
+                    % (i, i + 1))
+            proc.stdin.flush()
+            assert '"score"' in proc.stdout.readline()
+            proc.send_signal(signal.SIGTERM)
+            time.sleep(0.2)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert "serving stats" in err        # final record still emitted
+
+    def test_broken_pipe_exits_zero_with_stats(self, tmp_path):
+        import subprocess
+        import sys
+        import os
+
+        lines = "\n".join('{"type": "single_pair", "source": %d, "target": %d}'
+                          % (i % 7, (i + 1) % 7) for i in range(1500))
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(lines + "\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        # head(1) hangs up after two lines; >64 KiB of cached answers then
+        # overflow the dead pipe mid-stream -> BrokenPipeError in the loop.
+        command = (f"{sys.executable} -m repro.cli answer --dataset GQ "
+                   f"--method parsim --param iterations=5 "
+                   f"--queries {queries} --stats | head -n 2 > /dev/null; "
+                   f'exit "${{PIPESTATUS[0]}}"')
+        completed = subprocess.run(["bash", "-c", command], cwd="/root/repo",
+                                   env=env, capture_output=True, text=True,
+                                   timeout=120)
+        assert completed.returncode == 0     # hang-up is a drain, not a crash
+        assert "serving stats" in completed.stderr

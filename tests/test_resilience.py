@@ -550,6 +550,59 @@ class TestWireValidation:
         with pytest.raises(QueryValidationError):
             validate_query(query, 120)
 
+    def test_negative_node_ids_as_floats(self):
+        # -3.0 parses (integral float) but must fail range validation; a
+        # fractional -3.5 must not even parse as a node id.
+        query = query_from_dict({"type": "single_source", "source": -3.0})
+        assert query.source == -3
+        with pytest.raises(QueryValidationError, match="source"):
+            validate_query(query, 120)
+        with pytest.raises(ValueError, match="'source'"):
+            query_from_dict({"type": "single_source", "source": -3.5})
+        pair = query_from_dict({"type": "single_pair", "source": 0,
+                                "target": -1.0})
+        with pytest.raises(QueryValidationError, match="target"):
+            validate_query(pair, 120)
+
+    def test_non_finite_epsilon_on_the_wire(self):
+        # Python's json module accepts the NaN/Infinity literals, so a wire
+        # line can smuggle a non-finite epsilon past parsing; the serving
+        # loop must turn it into a structured invalid_query, not a crash.
+        from repro.service import parse_wire_line
+
+        for literal in ("NaN", "Infinity", "-Infinity"):
+            kind, payload = parse_wire_line(
+                '{"type": "single_source", "source": 1, '
+                f'"epsilon": {literal}}}', 120)
+            assert kind == "error"
+            assert payload["code"] == "invalid_query"
+            assert "epsilon" in payload["error"]
+
+    def test_k_larger_than_node_count_on_the_wire(self):
+        from repro.service import parse_wire_line
+
+        kind, payload = parse_wire_line(
+            '{"type": "top_k", "source": 0, "k": 121}', 120)
+        assert kind == "error" and payload["code"] == "invalid_query"
+        kind, query = parse_wire_line(
+            '{"type": "top_k", "source": 0, "k": 120}', 120)
+        assert kind == "query" and query.k == 120
+
+    def test_duplicate_keys_in_one_jsonl_object_last_wins(self):
+        # json.loads keeps the last occurrence of a duplicated key; pin that
+        # so a hostile line cannot make parse and serve disagree about the
+        # query it named.
+        from repro.service import parse_wire_line
+
+        kind, query = parse_wire_line(
+            '{"type": "top_k", "source": 1, "source": 5, "k": 3, "k": 7}',
+            120)
+        assert kind == "query"
+        assert query.source == 5 and query.k == 7
+        kind, payload = parse_wire_line(
+            '{"type": "top_k", "source": 1, "source": 500}', 120)
+        assert kind == "error" and payload["code"] == "invalid_query"
+
 
 # --------------------------------------------------------------------------- #
 # adversarial serving end-to-end (CLI)

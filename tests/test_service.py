@@ -518,3 +518,17 @@ class TestSparseDepthRecord:
         cache.distribution(2, 2, window)
         assert window._depths.touched <= toy_graph.num_nodes
         assert window._depths.get(2) == 2
+
+
+# --------------------------------------------------------------------------- #
+# stats wire format: one json.dumps away from the --stats record
+# --------------------------------------------------------------------------- #
+def test_planner_stats_fully_json_serializable(service_graph):
+    import json
+
+    planner = make_planner(service_graph)
+    planner.execute(SinglePairQuery(1, 2, method="parsim"))
+    stats = planner.stats()
+    assert json.loads(json.dumps(stats)) == stats      # emitted verbatim
+    assert isinstance(stats["breakers"], list)
+    assert stats["queries"] == 1.0
