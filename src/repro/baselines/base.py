@@ -37,17 +37,21 @@ way:
 from __future__ import annotations
 
 import abc
+import logging
 import os
 import zipfile
 import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Any, Dict, List, Mapping, Optional,
+                    Sequence, Union)
 
 import numpy as np
 
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
 from repro.utils.timing import Timer
+
+_LOGGER = logging.getLogger("repro.baselines")
 
 if TYPE_CHECKING:  # imported lazily to keep baselines ↔ core import-cycle free
     from repro.core.result import SinglePairResult, SingleSourceResult, TopKResult
@@ -71,6 +75,24 @@ QUERY_KINDS = (QUERY_SINGLE_SOURCE, QUERY_SINGLE_PAIR, QUERY_TOP_K)
 
 class IndexPersistenceError(RuntimeError):
     """Raised when an index cannot be saved or loaded."""
+
+
+class RepairUnsupported(RuntimeError):
+    """Raised by the default :meth:`SimRankAlgorithm._repair_index` hook.
+
+    The public :meth:`SimRankAlgorithm.repair` catches it and falls back to
+    a logged full rebuild, so a method without an incremental path is still
+    *correct* under updates — it just pays the rebuild price.
+    """
+
+
+class RepairVerificationError(RuntimeError):
+    """Raised when a repaired index disagrees with its rebuild oracle.
+
+    Caught by :meth:`SimRankAlgorithm.repair`: the repaired state is
+    discarded and the index fully rebuilt (verify-or-rebuild — a repair is
+    never trusted on faith).
+    """
 
 
 #: Chunk size of the streamed checksum walk (bytes).  Large enough that the
@@ -203,12 +225,19 @@ class SimRankAlgorithm(abc.ABC):
     def __init__(self, graph: DiGraph, *, decay: float = 0.6,
                  context: Optional[GraphContext] = None):
         if context is not None and context.graph is not graph \
-                and context.graph != graph:
+                and context.graph != graph \
+                and not context.knows_graph(graph):
+            # A context that has moved on through apply_updates() still
+            # retains its historical versions; binding an algorithm to one
+            # of those is legitimate (crash recovery loads an index against
+            # the version it was built at, then repairs forward).
             raise ValueError("context was built for a different graph")
         self.graph = graph
         self.decay = decay
         self.context = context if context is not None else GraphContext.shared(graph)
         self.preprocessing_seconds: float = 0.0
+        #: Version recorded in a loaded index envelope (0 until load_index).
+        self.index_graph_version: int = 0
         self._prepared = False
 
     # ------------------------------------------------------------------ #
@@ -240,6 +269,120 @@ class SimRankAlgorithm(abc.ABC):
     def ensure_prepared(self) -> None:
         if not self._prepared:
             self.preprocess()
+
+    # ------------------------------------------------------------------ #
+    # online updates: verify-or-rebuild repair
+    # ------------------------------------------------------------------ #
+    def repair(self, delta, *, verify: bool = True) -> Dict[str, Any]:
+        """Carry this instance from ``delta.old_graph`` to ``delta.new_graph``.
+
+        The contract is *verify-or-rebuild, never verify-and-pray*: the
+        subclass's incremental :meth:`_repair_index` runs first, then (with
+        ``verify=True``, the default) :meth:`_verify_repair` checks the
+        repaired state against a sampled rebuild oracle at the method's
+        pinned tolerance.  Any failure — the method not implementing a
+        repair (:class:`RepairUnsupported`) or the oracle disagreeing
+        (:class:`RepairVerificationError`) — falls back to a logged full
+        rebuild on the new graph, so the instance is correct afterwards no
+        matter which path ran.
+
+        Returns a report dict: ``strategy`` is one of ``noop`` (empty
+        delta), ``rebind`` (no index to carry), ``repair`` (incremental
+        path kept), ``rebuild`` (no incremental path) or
+        ``rebuild_after_mismatch`` (oracle rejected the repair).
+        """
+        report: Dict[str, Any] = {"method": self.name, "strategy": "repair",
+                                  "verified": False,
+                                  "version_to": int(delta.version_to)}
+        if delta.old_graph is not self.graph and delta.old_graph != self.graph:
+            raise ValueError(
+                f"delta starts at a different graph than this {self.name} "
+                "instance is bound to")
+        if delta.is_empty:
+            self._rebind_graph(delta.new_graph)
+            report["strategy"] = "noop"
+            return report
+        if not self.index_based or not self._prepared:
+            # Nothing built yet: rebinding is the whole repair.  An
+            # index-based instance will lazily build on the new graph.
+            self._rebind_graph(delta.new_graph)
+            report["strategy"] = "rebind"
+            return report
+        try:
+            self._rebind_graph(delta.new_graph)
+            self._repair_index(delta)
+            if verify:
+                self._verify_repair(delta)
+                report["verified"] = True
+        except RepairUnsupported:
+            _LOGGER.info("%s: no incremental repair; rebuilding index on "
+                         "graph version %d", self.name, delta.version_to)
+            self.preprocess(force=True)
+            report["strategy"] = "rebuild"
+        except RepairVerificationError as error:
+            _LOGGER.warning("%s: repair failed verification (%s); falling "
+                            "back to a full rebuild", self.name, error)
+            self.preprocess(force=True)
+            report["strategy"] = "rebuild_after_mismatch"
+        return report
+
+    def _repair_index(self, delta) -> None:
+        """Subclass hook: incrementally patch the index for ``delta``.
+
+        Runs *after* :meth:`_rebind_graph`, so ``self.graph`` (and any
+        engine/operator refreshed by :meth:`_on_graph_rebound`) already
+        describe the new version while the index arrays still describe the
+        old one.  The default declines, routing :meth:`repair` to a full
+        rebuild.
+        """
+        raise RepairUnsupported(f"{self.name} has no incremental repair path")
+
+    def _verify_repair(self, delta) -> None:
+        """Subclass hook: check the repaired index against a rebuild oracle.
+
+        Must raise :class:`RepairVerificationError` on any disagreement
+        beyond the method's pinned tolerance.  The default accepts, which
+        is only reached by subclasses that override :meth:`_repair_index`
+        without an oracle — every in-tree method provides one.
+        """
+
+    def _rebind_graph(self, graph: DiGraph) -> None:
+        """Point this instance at another version of its graph.
+
+        Keeps the shared context when it already knows ``graph`` (the
+        common case: the context itself applied the updates), otherwise
+        falls back to the process-wide shared context of the new graph.
+        Subclasses refresh graph-derived snapshots (walk engines, operator
+        references) in :meth:`_on_graph_rebound`.
+        """
+        self.graph = graph
+        if self.context.graph is not graph and self.context.graph != graph \
+                and not self.context.knows_graph(graph):
+            self.context = GraphContext.shared(graph)
+        self._on_graph_rebound()
+
+    def _on_graph_rebound(self) -> None:
+        """Subclass hook: refresh engines/operators snapshotted at init."""
+
+    def _operator_for_graph(self, decay: Optional[float] = None):
+        """A :class:`TransitionOperator` for *this instance's* graph.
+
+        Uses the context's cache when the context is on the same version;
+        during a serve-stale window (context ahead of a not-yet-repaired
+        instance) it builds a private operator so the instance's matrices
+        keep describing the graph its index describes.
+        """
+        decay = self.decay if decay is None else decay
+        if self.context.graph is self.graph or self.context.graph == self.graph:
+            return self.context.operator(decay)
+        from repro.graph.transition import TransitionOperator
+
+        return TransitionOperator(self.graph, decay)
+
+    @property
+    def graph_version(self) -> int:
+        """The context's version number of the bound graph (0 if unknown)."""
+        return self.context.version_of(self.graph)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -340,6 +483,7 @@ class SimRankAlgorithm(abc.ABC):
             "_meta_decay": np.float64(self.decay),
             "_meta_fingerprint": self.graph.fingerprint(),
             "_meta_preprocessing_seconds": np.float64(self.preprocessing_seconds),
+            "_meta_graph_version": np.int64(self.graph_version),
         }
         overlap = set(envelope) & set(payload)
         if overlap:
@@ -443,6 +587,10 @@ class SimRankAlgorithm(abc.ABC):
                 raise IndexPersistenceError(
                     f"{path}: index was built on a different graph")
             preprocessing_seconds = float(payload.pop("_meta_preprocessing_seconds"))
+            # Version-1..2 files written before the update plane carry no
+            # graph version; 0 means "the base version of whatever graph
+            # the fingerprint matched".
+            index_graph_version = int(payload.pop("_meta_graph_version", 0))
             self._restore_index(payload)
         except IndexPersistenceError:
             raise
@@ -452,6 +600,7 @@ class SimRankAlgorithm(abc.ABC):
             raise IndexPersistenceError(
                 f"{path}: index payload is malformed ({error})") from error
         self.preprocessing_seconds = preprocessing_seconds
+        self.index_graph_version = index_graph_version
         self._prepared = True
         return self
 
@@ -500,6 +649,8 @@ class SimRankAlgorithm(abc.ABC):
 __all__ = [
     "SimRankAlgorithm",
     "IndexPersistenceError",
+    "RepairUnsupported",
+    "RepairVerificationError",
     "INDEX_FORMAT_VERSION",
     "QUERY_SINGLE_SOURCE",
     "QUERY_SINGLE_PAIR",

@@ -56,6 +56,7 @@ from repro.service import (
     FaultPlan,
     Frontend,
     QueryPlanner,
+    UpdateLog,
     WorkerPool,
     aiter_lines,
     outcome_to_wire,
@@ -171,6 +172,18 @@ def _build_parser() -> argparse.ArgumentParser:
                                metavar="N",
                                help="chaos testing: SIGKILL a random worker "
                                     "after every N responses (pool mode)")
+    answer_parser.add_argument("--wal", metavar="PATH",
+                               help="write-ahead log for online graph "
+                                    "updates: {\"type\": \"update\"} stream "
+                                    "lines are fsynced here before they are "
+                                    "acknowledged, and the log is replayed "
+                                    "on startup so no acknowledged update "
+                                    "is ever lost")
+    answer_parser.add_argument("--listen", metavar="HOST:PORT",
+                               help="serve TCP JSONL connections instead of "
+                                    "a stdin/file stream (pool mode only); "
+                                    "each connection gets its own "
+                                    "max-inflight admission window")
 
     index_parser = subparsers.add_parser(
         "index", help="build / load persisted indices of index-based methods")
@@ -315,6 +328,7 @@ def _command_answer(args: argparse.Namespace) -> int:
             print(f"error: cannot load fault plan {args.fault_plan}: {error}",
                   file=sys.stderr)
             return 2
+    wal = UpdateLog(args.wal) if args.wal else None
     try:
         method = _resolve_method(args)
         # Every registered method gets its config from the generic flags, so
@@ -327,7 +341,11 @@ def _command_answer(args: argparse.Namespace) -> int:
             name: _method_config(args, name,
                                  accepted_params_only=(name != method))
             for name in registry.available()}
-        planner_factory = _planner_factory(args, graph, method, method_configs)
+        # In pool mode the supervisor owns the WAL (durable append before
+        # ack + ordered broadcast); worker planners must not re-append.
+        planner_factory = _planner_factory(
+            args, graph, method, method_configs,
+            wal=wal if not args.workers else None)
         planner_factory()               # fail fast on a bad configuration
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -339,13 +357,18 @@ def _command_answer(args: argparse.Namespace) -> int:
         print("error: --workers must be >= 0 and --max-inflight >= 1",
               file=sys.stderr)
         return 2
+    if args.listen and not args.workers:
+        print("error: --listen requires pool mode (--workers N)",
+              file=sys.stderr)
+        return 2
     if args.workers:
-        return asyncio.run(_serve_pool(args, graph, planner_factory))
+        return asyncio.run(_serve_pool(args, graph, planner_factory, wal=wal))
     return _serve_in_process(args, graph, planner_factory())
 
 
 def _planner_factory(args: argparse.Namespace, graph: DiGraph, method: str,
-                     method_configs: Dict[str, Dict[str, Any]]):
+                     method_configs: Dict[str, Dict[str, Any]],
+                     wal: Optional[UpdateLog] = None):
     """A zero-argument planner builder shared by both serving modes.
 
     In pool mode the factory runs inside each forked worker: the graph and
@@ -354,6 +377,12 @@ def _planner_factory(args: argparse.Namespace, graph: DiGraph, method: str,
     re-read per process so injected-fault state stays process-local.  The
     pool serializes each query's *remaining* deadline with its dispatch, so
     the worker planner gets no standing ``deadline_ms`` of its own.
+
+    The planner binds ``context.graph`` (not the captured base graph): when
+    a WAL was recovered into the context before the factory runs — the pool
+    path — the worker starts at the recovered version instead of serving
+    stale history.  In-process mode passes ``wal`` through instead, and the
+    planner replays it at construction.
     """
     context = GraphContext.shared(graph)
     in_process = args.workers == 0
@@ -361,7 +390,7 @@ def _planner_factory(args: argparse.Namespace, graph: DiGraph, method: str,
     def factory() -> QueryPlanner:
         fault_plan = (FaultPlan.from_file(args.fault_plan)
                       if args.fault_plan else None)
-        return QueryPlanner(graph, context=context,
+        return QueryPlanner(context.graph, context=context,
                             default_method=method,
                             method_configs=method_configs,
                             cache_entries=args.cache_entries,
@@ -369,7 +398,8 @@ def _planner_factory(args: argparse.Namespace, graph: DiGraph, method: str,
                             save_indices=args.save_indices,
                             index_mmap=not in_process,
                             deadline_ms=args.deadline_ms if in_process else None,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan,
+                            wal=wal)
 
     return factory
 
@@ -405,7 +435,20 @@ def _serve_in_process(args: argparse.Namespace, graph: DiGraph,
         # input line N (clients correlate positionally).
         batch: list = []
         for line in _iter_query_lines(stream):
-            batch.append(parse_wire_line(line, graph.num_nodes))
+            parsed = parse_wire_line(line, graph.num_nodes)
+            if parsed[0] == "update":
+                # An update line is a batch boundary: queries ahead of it
+                # are answered on the old version, then the batch is
+                # acknowledged (WAL-first), repaired and swapped so every
+                # later line sees the new graph version.
+                failures += _answer_batch(planner, batch)
+                batch = []
+                failures += _apply_update_line(planner, parsed[1])
+                if args.max_errors is not None and failures > args.max_errors:
+                    aborted = True
+                    break
+                continue
+            batch.append(parsed)
             stopped = stop_state["stop"]
             if len(batch) >= args.batch_size or stopped:
                 failures += _answer_batch(planner, batch)
@@ -466,11 +509,21 @@ class _ChaosKiller:
 
 
 async def _serve_pool(args: argparse.Namespace, graph: DiGraph,
-                      planner_factory) -> int:
+                      planner_factory,
+                      wal: Optional[UpdateLog] = None) -> int:
     """The supervised multi-worker serving loop (``--workers N``)."""
+    base_version = 0
+    if wal is not None:
+        # Recover acknowledged history into the shared context *before*
+        # forking: every worker then starts at the recovered version, and
+        # the pool appends new updates after the replayed tail.
+        context = GraphContext.shared(graph)
+        context.recover(wal)
+        base_version = context.graph_version
     pool = WorkerPool(planner_factory, num_workers=args.workers,
                       batch_size=args.batch_size,
-                      deadline_ms=args.deadline_ms)
+                      deadline_ms=args.deadline_ms,
+                      wal=wal, base_version=base_version)
     await pool.start()
     frontend = Frontend(pool, graph.num_nodes,
                         max_inflight=args.max_inflight,
@@ -487,18 +540,45 @@ async def _serve_pool(args: argparse.Namespace, graph: DiGraph,
             pass
     chaos = (_ChaosKiller(pool, args.chaos_kill_every)
              if args.chaos_kill_every else None)
-    stream = sys.stdin if args.queries == "-" else open(args.queries, "r")
 
     def write(payload: Dict[str, Any]) -> None:
         print(json.dumps(payload), flush=True)
 
+    failures = 0
     try:
-        lines = aiter_lines(stream) if stream is sys.stdin else iter(stream)
-        failures = await frontend.serve_lines(lines, write, on_response=chaos,
-                                              max_errors=args.max_errors)
+        if args.listen:
+            host, _, port_text = args.listen.rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                print(f"error: --listen expects HOST:PORT, got {args.listen!r}",
+                      file=sys.stderr)
+                return 2
+            server = await frontend.serve_connections(host or "127.0.0.1", port)
+            bound = server.sockets[0].getsockname()
+            # Announce the bound address on stdout (port 0 picks a free one)
+            # so scripted clients can connect without racing the listener.
+            print(json.dumps({"type": "listening", "host": bound[0],
+                              "port": bound[1]}), flush=True)
+            try:
+                while not frontend.stopping:
+                    await asyncio.sleep(0.05)
+            finally:
+                server.close()
+                await server.wait_closed()
+        else:
+            stream = (sys.stdin if args.queries == "-"
+                      else open(args.queries, "r"))
+            try:
+                lines = (aiter_lines(stream) if stream is sys.stdin
+                         else iter(stream))
+                failures = await frontend.serve_lines(
+                    lines, write, on_response=chaos,
+                    max_errors=args.max_errors)
+            finally:
+                if stream is not sys.stdin:
+                    stream.close()
     finally:
-        if stream is not sys.stdin:
-            stream.close()
         for signum in installed:
             loop.remove_signal_handler(signum)
     final_stats = await pool.drain()
@@ -517,6 +597,30 @@ async def _serve_pool(args: argparse.Namespace, graph: DiGraph,
     return 0 if failures == 0 else 1
 
 
+def _apply_update_line(planner: QueryPlanner, batch) -> int:
+    """Apply one parsed update line in-process; emit its acknowledgement.
+
+    Returns 1 on failure (counted against ``--max-errors``), 0 on success.
+    The ack carries the new ``graph_version`` and the per-index repair
+    strategies, so a client can see whether an index was repaired in place
+    or rebuilt.
+    """
+    try:
+        ack = planner.apply_updates(batch)
+        report = planner.complete_repairs()
+    except Exception as error:
+        print(json.dumps({"error": f"{type(error).__name__}: {error}",
+                          "code": "update_failed",
+                          "graph_version": planner.graph_version}))
+        return 1
+    ack["stale_updates"] = planner.stale_updates
+    ack["repairs"] = [{"method": row.get("method"),
+                       "strategy": row.get("strategy")}
+                      for row in report["repairs"]]
+    print(json.dumps(ack))
+    return 0
+
+
 def _answer_batch(planner: QueryPlanner, batch: list) -> int:
     """Answer the batch's queries and emit every item in input order.
 
@@ -531,7 +635,8 @@ def _answer_batch(planner: QueryPlanner, batch: list) -> int:
             failures += 1
             print(json.dumps(item))
             continue
-        payload = outcome_to_wire(next(outcomes))
+        payload = outcome_to_wire(next(outcomes),
+                                  graph_version=planner.graph_version)
         if "error" in payload:
             failures += 1
         print(json.dumps(payload))

@@ -26,12 +26,18 @@ their sample streams.  Use :meth:`walk_engine` to construct a fresh one.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
 from repro.graph.transition import TransitionOperator
+
+#: How many (version, graph) pairs a context retains.  Old versions back
+#: crash recovery (a persisted index built at version v loads against the
+#: historical graph and repairs forward) and serve-stale answering during
+#: a repair window; beyond the window they are dead weight.
+_VERSION_HISTORY_LIMIT = 16
 
 
 class GraphContext:
@@ -40,6 +46,8 @@ class GraphContext:
     def __init__(self, graph: DiGraph):
         self.graph = graph
         self._operators: Dict[float, TransitionOperator] = {}
+        self._graph_version = 0
+        self._history: List[Tuple[int, DiGraph]] = [(0, graph)]
 
     # ------------------------------------------------------------------ #
     # shared-instance cache
@@ -77,6 +85,114 @@ class GraphContext:
         from repro.randomwalk.engine import SqrtCWalkEngine
 
         return SqrtCWalkEngine(self.graph, decay, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # online updates
+    # ------------------------------------------------------------------ #
+    @property
+    def graph_version(self) -> int:
+        """Monotonic version counter, bumped by every applied update batch."""
+        return self._graph_version
+
+    def apply_updates(self, batch, *, wal=None, fault_plan=None):
+        """Apply one edge batch; returns the normalized :class:`GraphDelta`.
+
+        The write path is WAL-first: when a write-ahead log is given, the
+        batch is durably appended (fsync) *before* any in-memory structure
+        changes, so a crash at any instant leaves either no trace of the
+        batch (not yet acknowledged) or a logged record replay can redo.
+        Afterwards the new CSR graph is built, the version bumped, every
+        cached transition operator invalidated, and the context re-keyed in
+        the shared cache so ``GraphContext.shared(new_graph)`` resolves here.
+
+        ``fault_plan`` hooks the two crash points of this function —
+        ``("update", "wal_append")`` fires before the append and
+        ``("update", "apply")`` after it — so resilience tests can kill the
+        process exactly where a real crash would bite.
+        """
+        from repro.graph.updates import EdgeBatch
+
+        if isinstance(batch, dict):
+            batch = EdgeBatch.from_wire(batch)
+        batch.validate(self.graph.num_nodes)
+        version_to = self._graph_version + 1
+        if fault_plan is not None:
+            fault_plan.on_route_call("update", "wal_append", None)
+        if wal is not None:
+            wal.append(batch, version_to)
+        if fault_plan is not None:
+            fault_plan.on_route_call("update", "apply", None)
+        return self._apply_batch(batch, version_to)
+
+    def _apply_batch(self, batch, version_to: int):
+        from repro.graph.updates import GraphDelta, apply_edge_batch
+
+        old_graph = self.graph
+        new_graph = apply_edge_batch(old_graph, batch)
+        delta = GraphDelta.between(old_graph, new_graph,
+                                   version_from=self._graph_version,
+                                   version_to=version_to)
+        self.graph = new_graph
+        self._graph_version = int(version_to)
+        self._operators.clear()
+        self._history.append((self._graph_version, new_graph))
+        del self._history[:-_VERSION_HISTORY_LIMIT]
+        # Re-key the shared cache: algorithms constructed later against the
+        # new graph must land on this context, not a fresh one.
+        _SHARED_CONTEXTS[new_graph] = self
+        return delta
+
+    def recover(self, wal) -> int:
+        """Replay a write-ahead log on top of the current version.
+
+        Records at or below the current version are skipped (idempotent
+        replay); the rest are re-applied *without* re-appending, restoring
+        exactly the acknowledged history.  Returns the number of batches
+        replayed.  Records must be contiguous — a gap means the log and the
+        graph disagree about history, which is corruption, not a tail.
+        """
+        from repro.graph.updates import EdgeBatch, WalCorruptionError
+
+        replayed = 0
+        for record in wal.replay():
+            version_to = int(record.get("version_to", 0))
+            if version_to <= self._graph_version:
+                continue
+            if version_to != self._graph_version + 1:
+                raise WalCorruptionError(
+                    f"{wal.path}: record jumps from version "
+                    f"{self._graph_version} to {version_to}")
+            self._apply_batch(EdgeBatch.from_wire(record), version_to)
+            replayed += 1
+        return replayed
+
+    def graph_at(self, version: int) -> DiGraph:
+        """The retained historical graph of ``version`` (KeyError if evicted)."""
+        for held_version, graph in self._history:
+            if held_version == int(version):
+                return graph
+        raise KeyError(f"graph version {version} is no longer retained "
+                       f"(history holds {[v for v, _ in self._history]})")
+
+    def knows_graph(self, graph: DiGraph) -> bool:
+        """True when ``graph`` is some retained version of this context."""
+        return any(held is graph or held == graph for _, held in self._history)
+
+    def version_of(self, graph: DiGraph) -> int:
+        """The version number of a retained graph (0 when unknown)."""
+        for held_version, held in self._history:
+            if held is graph or held == graph:
+                return held_version
+        return 0
+
+    def delta_between(self, version_from: int, version_to: int):
+        """The composed delta between two retained versions."""
+        from repro.graph.updates import GraphDelta
+
+        return GraphDelta.between(self.graph_at(version_from),
+                                  self.graph_at(version_to),
+                                  version_from=int(version_from),
+                                  version_to=int(version_to))
 
     # ------------------------------------------------------------------ #
     # array views

@@ -226,6 +226,43 @@ class DiGraph:
         return DiGraph.from_edges(kept_edges, num_nodes=node_array.shape[0],
                                   name=name or f"{self.name}-sub")
 
+    def apply_edits(self, inserts: np.ndarray, deletes: np.ndarray,
+                    *, name: Optional[str] = None) -> "DiGraph":
+        """A new graph with ``deletes`` removed and then ``inserts`` added.
+
+        The node count, name and directedness are preserved (the update
+        plane keeps node ids stable so persisted index shapes stay
+        repairable); an edge named in both lists is present afterwards.
+        Callers pass *directed* edge rows — undirected mirroring is the
+        responsibility of :func:`repro.graph.updates.apply_edge_batch`.
+        """
+        inserts = np.asarray(inserts, dtype=np.int64).reshape(-1, 2)
+        deletes = np.asarray(deletes, dtype=np.int64).reshape(-1, 2)
+        for label, rows in (("insert", inserts), ("delete", deletes)):
+            if rows.size and (rows.min() < 0 or int(rows.max()) >= self.num_nodes):
+                raise ValueError(f"{label} edge references a node id outside "
+                                 f"[0, {self.num_nodes})")
+        edges = self.edge_array()
+        if deletes.size:
+            span = max(self.num_nodes, 1)
+            keys = edges[:, 0] * span + edges[:, 1]
+            drop = deletes[:, 0] * span + deletes[:, 1]
+            edges = edges[~np.isin(keys, drop)]
+        if inserts.size:
+            edges = np.vstack([edges, inserts])
+        # Build from the materialized directed rows (an undirected graph's
+        # mirrored rows are already present), then restore the original flag.
+        built = DiGraph.from_edges(edges, num_nodes=self.num_nodes,
+                                   directed=True, name=name or self.name)
+        if not self.directed:
+            built = DiGraph(num_nodes=built.num_nodes,
+                            in_indptr=built.in_indptr,
+                            in_indices=built.in_indices,
+                            out_indptr=built.out_indptr,
+                            out_indices=built.out_indices,
+                            name=built.name, directed=False)
+        return built
+
     def to_scipy_adjacency(self) -> sparse.csr_matrix:
         """Binary adjacency matrix ``A`` with ``A[i, j] = 1`` iff edge ``i -> j``."""
         data = np.ones(self.num_edges, dtype=np.float64)

@@ -1,0 +1,471 @@
+"""Write-ahead logged edge batches and versioned graph deltas.
+
+Everything the online-update plane needs to change a graph *safely* lives
+here, deliberately below the service layer so both the single-process CLI
+loop and the worker-pool supervisor share one implementation:
+
+* :class:`EdgeBatch` — a validated, deduplicated set of edge inserts and
+  deletes with a JSON wire form (``{"type": "update", "insert": [[s, t],
+  ...], "delete": [[s, t], ...]}``);
+* :func:`apply_edge_batch` — the pure functional core: old graph + batch →
+  new graph (node count, name and directedness fixed; an undirected graph
+  mirrors the batch);
+* :class:`GraphDelta` — the *normalized* difference between two graph
+  versions: the edges actually inserted/deleted (a delete of a missing edge
+  or an insert of an existing one vanishes here), the touched nodes whose
+  in-adjacency changed, and the √c-walk-affected frontier around them;
+* :class:`UpdateLog` — a CRC-framed write-ahead log.  Each record is
+  framed ``MAGIC | length | crc32 | json`` and fsynced before the caller is
+  allowed to mutate anything, so a batch is either durably logged or never
+  acknowledged.  Replay tolerates a torn tail (the frame a crash
+  interrupted) by stopping at the first bad frame; compaction rewrites the
+  log through the tmp + fsync + ``os.replace`` idiom used by index saves.
+
+The affected-set computation encodes one non-obvious fact about √c-walks:
+a walk *from* ``u`` steps to uniformly random **in**-neighbours, so ``u``'s
+walk distribution changes exactly when some touched node ``v`` (a node
+whose in-row changed — the **target** of a changed edge) is reachable from
+``v`` to ``u`` along **out**-edges.  The affected set is therefore a
+forward out-edge BFS from the touched nodes, taken over the union of the
+old and the new graph (a deleted path still influenced the old walks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+#: Per-record frame magic of the write-ahead log.
+WAL_MAGIC = b"UWAL"
+#: Frame header after the magic: payload length, then CRC-32 of the payload.
+_WAL_HEADER = struct.Struct(">II")
+#: Refuse absurd frame lengths (a corrupt length field must not allocate GiB).
+_WAL_MAX_RECORD_BYTES = 64 << 20
+
+
+class WalCorruptionError(RuntimeError):
+    """Raised when the WAL holds a bad frame *before* its final record.
+
+    A bad final frame is a torn tail (the crash the log exists to survive)
+    and is silently dropped; a bad frame with valid frames after it means
+    the file was corrupted at rest, which replay must not paper over.
+    """
+
+
+def _as_edge_array(edges: Any) -> np.ndarray:
+    """Coerce ``edges`` into a deduplicated, sorted ``(k, 2)`` int64 array."""
+    if edges is None:
+        return np.empty((0, 2), dtype=np.int64)
+    array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                       dtype=np.int64)
+    if array.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError("edges must be an iterable of (source, target) pairs")
+    return np.unique(array, axis=0)
+
+
+def _edge_keys(edges: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Collision-free int64 key per edge (valid because node ids < num_nodes)."""
+    span = max(int(num_nodes), 1)
+    return edges[:, 0] * span + edges[:, 1]
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """A validated batch of edge inserts and deletes.
+
+    Rows are deduplicated and sorted on construction so two batches with
+    the same edge sets compare equal and serialize identically.  An edge
+    present in both lists is treated as *insert wins*: deletes are applied
+    before inserts by :func:`apply_edge_batch`.
+    """
+
+    inserts: np.ndarray = field(default_factory=lambda: np.empty((0, 2), dtype=np.int64))
+    deletes: np.ndarray = field(default_factory=lambda: np.empty((0, 2), dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        for attr in ("inserts", "deletes"):
+            array = _as_edge_array(getattr(self, attr))
+            array.setflags(write=False)
+            object.__setattr__(self, attr, array)
+        if (self.inserts.size and self.inserts.min() < 0) or \
+                (self.deletes.size and self.deletes.min() < 0):
+            raise ValueError("node ids must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # construction / wire form
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "EdgeBatch":
+        """Build a batch from its JSON wire dict (``insert`` / ``delete``)."""
+        if not isinstance(payload, dict):
+            raise ValueError("update record must be a JSON object")
+        unknown = set(payload) - {"type", "insert", "delete", "version_to"}
+        if unknown:
+            raise ValueError(f"update record has unknown fields {sorted(unknown)}")
+        try:
+            return cls(inserts=payload.get("insert") or [],
+                       deletes=payload.get("delete") or [])
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"malformed update record: {error}") from error
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "update",
+                "insert": self.inserts.tolist(),
+                "delete": self.deletes.tolist()}
+
+    # ------------------------------------------------------------------ #
+    # validation / accounting
+    # ------------------------------------------------------------------ #
+    def validate(self, num_nodes: int) -> "EdgeBatch":
+        """Check every endpoint against ``num_nodes`` (growth is disallowed:
+        the CSR delta keeps the node count fixed, matching the persisted
+        index shapes it must repair)."""
+        for label, edges in (("insert", self.inserts), ("delete", self.deletes)):
+            if edges.size and int(edges.max()) >= num_nodes:
+                raise ValueError(
+                    f"update {label} references a node id >= num_nodes "
+                    f"({int(edges.max())} >= {num_nodes})")
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return self.inserts.shape[0] == 0 and self.deletes.shape[0] == 0
+
+    @property
+    def num_changes(self) -> int:
+        return int(self.inserts.shape[0] + self.deletes.shape[0])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeBatch):
+            return NotImplemented
+        return (np.array_equal(self.inserts, other.inserts)
+                and np.array_equal(self.deletes, other.deletes))
+
+
+def apply_edge_batch(graph: DiGraph, batch: EdgeBatch) -> DiGraph:
+    """Apply a batch to a graph, returning the new immutable graph.
+
+    Deletes are applied before inserts, so an edge named in both lists is
+    present afterwards.  The node count, name and directedness are
+    preserved; for an undirected graph the batch is mirrored, matching the
+    doubling :meth:`DiGraph.from_edges` performs.
+    """
+    batch.validate(graph.num_nodes)
+    inserts, deletes = batch.inserts, batch.deletes
+    if not graph.directed:
+        inserts = _as_edge_array(np.vstack([inserts, inserts[:, ::-1]])
+                                 if inserts.size else inserts)
+        deletes = _as_edge_array(np.vstack([deletes, deletes[:, ::-1]])
+                                 if deletes.size else deletes)
+    return graph.apply_edits(inserts, deletes)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """The normalized difference between two versions of one graph.
+
+    ``inserted`` / ``deleted`` hold the edges that actually changed (a
+    requested delete of a missing edge or insert of an existing edge is
+    normalized away), so repairs and their verification oracles see the
+    true structural change, not the caller's phrasing of it.
+    """
+
+    old_graph: DiGraph
+    new_graph: DiGraph
+    inserted: np.ndarray
+    deleted: np.ndarray
+    version_from: int = 0
+    version_to: int = 0
+
+    def __post_init__(self) -> None:
+        if self.old_graph.num_nodes != self.new_graph.num_nodes:
+            raise ValueError("graph deltas cannot change the node count")
+        for attr in ("inserted", "deleted"):
+            array = _as_edge_array(getattr(self, attr))
+            array.setflags(write=False)
+            object.__setattr__(self, attr, array)
+
+    @classmethod
+    def between(cls, old_graph: DiGraph, new_graph: DiGraph, *,
+                version_from: int = 0, version_to: int = 0) -> "GraphDelta":
+        """The exact edge-set difference between two graphs."""
+        if old_graph.num_nodes != new_graph.num_nodes:
+            raise ValueError("graph deltas cannot change the node count")
+        num_nodes = old_graph.num_nodes
+        old_edges = old_graph.edge_array()
+        new_edges = new_graph.edge_array()
+        old_keys = _edge_keys(old_edges, num_nodes)
+        new_keys = _edge_keys(new_edges, num_nodes)
+        inserted = new_edges[~np.isin(new_keys, old_keys)]
+        deleted = old_edges[~np.isin(old_keys, new_keys)]
+        return cls(old_graph=old_graph, new_graph=new_graph,
+                   inserted=inserted, deleted=deleted,
+                   version_from=int(version_from), version_to=int(version_to))
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        return self.inserted.shape[0] == 0 and self.deleted.shape[0] == 0
+
+    @property
+    def num_changes(self) -> int:
+        return int(self.inserted.shape[0] + self.deleted.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # affected-set computation
+    # ------------------------------------------------------------------ #
+    def touched_nodes(self) -> np.ndarray:
+        """Nodes whose in-adjacency changed: the *targets* of changed edges.
+
+        The reverse-transition row of ``v`` (and hence every walk step out
+        of ``v``) depends only on ``v``'s in-neighbour list, which changes
+        exactly when some edge into ``v`` was inserted or deleted.
+        """
+        changed = np.vstack([self.inserted, self.deleted]) \
+            if self.num_changes else np.empty((0, 2), dtype=np.int64)
+        return np.unique(changed[:, 1]) if changed.size else \
+            np.empty(0, dtype=np.int64)
+
+    def affected_nodes(self, max_depth: int,
+                       direction: str = "walk") -> np.ndarray:
+        """Nodes whose version-dependent quantities can differ, by direction.
+
+        ``direction="walk"`` — nodes ``u`` whose √c-walk *distribution*
+        (walks started at ``u``) can change: a walk from ``u`` visits
+        touched node ``v`` iff an out-edge path ``v → … → u`` exists, so
+        this is a forward BFS from the touched nodes along out-edges.
+        This is the affected set for MC walk columns and diagonal entries.
+
+        ``direction="landing"`` — nodes ``k`` whose *landing* row
+        ``(√c Pᵀ)^ℓ[k, ·]`` (the probability that a walk from anywhere is
+        at ``k`` after ℓ ≤ max_depth steps) can change: that row changes
+        iff an out-edge path ``k → … → v`` of length ≤ ℓ reaches a touched
+        ``v``, so this is a BFS from the touched nodes along *in*-edges.
+        This is the affected set for SLING hop rows and PRSim hub vectors.
+
+        Both BFS run over the union of old and new graphs (deleted edges
+        carried the old quantities, inserted edges carry the new ones),
+        depth-limited to ``max_depth`` steps.
+        """
+        if direction not in ("walk", "landing"):
+            raise ValueError(f"direction must be 'walk' or 'landing', "
+                             f"got {direction!r}")
+        gather = (_gather_out_neighbors if direction == "walk"
+                  else _gather_in_neighbors)
+        touched = self.touched_nodes()
+        num_nodes = self.new_graph.num_nodes
+        visited = np.zeros(num_nodes, dtype=bool)
+        if touched.size == 0 or max_depth < 0:
+            return touched
+        visited[touched] = True
+        frontier = touched
+        for _ in range(int(max_depth)):
+            successors = np.concatenate([
+                gather(self.old_graph, frontier),
+                gather(self.new_graph, frontier),
+            ])
+            if successors.size == 0:
+                break
+            successors = np.unique(successors)
+            fresh = successors[~visited[successors]]
+            if fresh.size == 0:
+                break
+            visited[fresh] = True
+            frontier = fresh
+        return np.flatnonzero(visited)
+
+
+def _gather_out_neighbors(graph: DiGraph, nodes: np.ndarray) -> np.ndarray:
+    """Out-neighbours of every node in ``nodes``, gathered in one CSR pass."""
+    if nodes.size == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = graph.out_degrees[nodes]
+    starts = graph.out_indptr[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    row_offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    positions = np.repeat(starts, counts) + (np.arange(total, dtype=np.int64)
+                                             - row_offsets)
+    return graph.out_indices[positions]
+
+
+def _gather_in_neighbors(graph: DiGraph, nodes: np.ndarray) -> np.ndarray:
+    """In-neighbours of every node in ``nodes``, gathered in one CSR pass."""
+    if nodes.size == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = graph.in_degrees[nodes]
+    starts = graph.in_indptr[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    row_offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    positions = np.repeat(starts, counts) + (np.arange(total, dtype=np.int64)
+                                             - row_offsets)
+    return graph.in_indices[positions]
+
+
+# --------------------------------------------------------------------------- #
+# write-ahead log
+# --------------------------------------------------------------------------- #
+class UpdateLog:
+    """A CRC-framed write-ahead log of edge batches.
+
+    Append semantics: the record is framed, written and ``fsync``-ed before
+    :meth:`append` returns, so a caller that acknowledges an update after
+    appending can never lose it to a crash.  A crash *during* the append
+    leaves a torn final frame, which :meth:`replay` silently drops — the
+    un-acknowledged batch simply never happened.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    # append
+    # ------------------------------------------------------------------ #
+    def append(self, batch: EdgeBatch, version_to: int) -> Dict[str, Any]:
+        """Durably append one batch; returns the record written."""
+        record = batch.to_wire()
+        record["version_to"] = int(version_to)
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        frame = WAL_MAGIC + _WAL_HEADER.pack(len(payload),
+                                             zlib.crc32(payload)) + payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
+        with open(self.path, "ab") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if created:
+            _fsync_directory(self.path.parent)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def replay(self) -> List[Dict[str, Any]]:
+        """Every intact record, in append order.
+
+        A torn final frame (the crash signature) is dropped; a bad frame
+        *followed by* valid data raises :class:`WalCorruptionError` — that
+        is corruption at rest, not a torn tail, and silently resuming past
+        it would replay a different history than was acknowledged.
+        """
+        if not self.path.exists():
+            return []
+        blob = self.path.read_bytes()
+        records: List[Dict[str, Any]] = []
+        offset = 0
+        header_bytes = len(WAL_MAGIC) + _WAL_HEADER.size
+        while offset < len(blob):
+            frame_start = offset
+            if len(blob) - offset < header_bytes:
+                break                     # torn header at the tail
+            if blob[offset:offset + len(WAL_MAGIC)] != WAL_MAGIC:
+                self._raise_unless_tail(blob, frame_start)
+                break
+            offset += len(WAL_MAGIC)
+            length, crc = _WAL_HEADER.unpack_from(blob, offset)
+            offset += _WAL_HEADER.size
+            if length > _WAL_MAX_RECORD_BYTES or len(blob) - offset < length:
+                break                     # torn payload at the tail
+            payload = blob[offset:offset + length]
+            offset += length
+            if zlib.crc32(payload) != crc:
+                self._raise_unless_tail(blob, offset)
+                break
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise WalCorruptionError(
+                    f"{self.path}: frame at byte {frame_start} holds "
+                    f"invalid JSON ({error})") from error
+            records.append(record)
+        return records
+
+    def _raise_unless_tail(self, blob: bytes, offset: int) -> None:
+        """A bad frame is only forgivable when nothing valid follows it."""
+        # A valid next frame can start exactly at ``offset`` (a CRC-corrupt
+        # interior frame ends right where its intact successor begins), so
+        # the whole remainder is searched, not just offset+1 onward.
+        remainder = blob[offset:]
+        if WAL_MAGIC in remainder:
+            raise WalCorruptionError(
+                f"{self.path}: corrupt frame at byte {offset} with valid "
+                "frames after it (corruption at rest, not a torn tail)")
+
+    def last_version(self) -> int:
+        """The highest durably logged ``version_to`` (0 for an empty log)."""
+        records = self.replay()
+        return max((int(record.get("version_to", 0)) for record in records),
+                   default=0)
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+    def compact(self, up_to_version: int) -> int:
+        """Drop records with ``version_to <= up_to_version``; returns kept count.
+
+        Used once a checkpoint (e.g. a persisted index at version ``v``)
+        makes the prefix redundant.  The rewrite goes through a temporary
+        file, fsync and :func:`os.replace`, so a crash mid-compaction
+        leaves either the old or the new log, never a torn one.
+        """
+        records = [record for record in self.replay()
+                   if int(record.get("version_to", 0)) > int(up_to_version)]
+        tmp_path = self.path.with_name(f".{self.path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp_path, "wb") as handle:
+                for record in records:
+                    payload = json.dumps(record,
+                                         separators=(",", ":")).encode("utf-8")
+                    handle.write(WAL_MAGIC + _WAL_HEADER.pack(
+                        len(payload), zlib.crc32(payload)) + payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise
+        _fsync_directory(self.path.parent)
+        return len(records)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync (persists creates/renames where supported)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+
+
+__all__ = [
+    "EdgeBatch",
+    "GraphDelta",
+    "UpdateLog",
+    "WalCorruptionError",
+    "apply_edge_batch",
+]

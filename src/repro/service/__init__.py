@@ -22,8 +22,22 @@ the algorithm layer executes it:
   re-dispatch);
 * :mod:`repro.service.frontend` — the asyncio front end (admission control,
   load shedding, ordered JSONL responses, graceful drain).
+
+The online-update plane (:class:`~repro.graph.updates.EdgeBatch`,
+:class:`~repro.graph.updates.UpdateLog`, :class:`~repro.graph.updates.
+GraphDelta`) is re-exported here because the serving layer is its primary
+consumer: the planner acknowledges WAL-first batches and swaps repaired
+indexes at batch boundaries, the pool broadcasts them to workers in order,
+and the front end treats ``{"type": "update"}`` wire lines as barriers.
 """
 
+from repro.graph.updates import (
+    EdgeBatch,
+    GraphDelta,
+    UpdateLog,
+    WalCorruptionError,
+    apply_edge_batch,
+)
 from repro.service.adaptive import RefinedTopK, refine_top_k
 from repro.service.faults import FaultPlan, FaultRule, InjectedFault
 from repro.service.frontend import Frontend, aiter_lines, parse_wire_line
@@ -79,9 +93,11 @@ __all__ = [
     "ERROR_TIMEOUT",
     "ERROR_VALIDATION",
     "ERROR_WORKER_LOST",
+    "EdgeBatch",
     "FaultPlan",
     "Frontend",
     "FaultRule",
+    "GraphDelta",
     "InjectedFault",
     "Query",
     "QueryResult",
@@ -99,9 +115,12 @@ __all__ = [
     "SinglePairQuery",
     "SingleSourceQuery",
     "TopKQuery",
+    "UpdateLog",
+    "WalCorruptionError",
     "WorkerPool",
     "active_deadline",
     "aiter_lines",
+    "apply_edge_batch",
     "checkpoint",
     "deadline_scope",
     "outcome_to_wire",

@@ -2,8 +2,11 @@
 
 A :class:`FaultPlan` is a declarative list of :class:`FaultRule`\\ s — "raise
 on the 2nd and 3rd call of PRSim's native route", "add 50 ms latency to every
-derived route" — that the planner consults at the top of every route
-execution.  Because rules trigger on exact call ordinals of exact
+derived route", "die with ``os._exit`` at the 1st WAL append" — that the
+planner consults at the top of every route execution and the update plane
+consults at its crash points (``("update", "wal_append"/"apply"/"repair"/
+"swap")``).  The ``exit`` action is the crash-consistency hammer: it kills
+the process as abruptly as SIGKILL at an exact, replayable instant.  Because rules trigger on exact call ordinals of exact
 (method, route) pairs, a fault scenario replays identically run after run:
 the fallback-routing and circuit-breaker tests assert on precise trip counts
 rather than racy timing.
@@ -51,7 +54,7 @@ class FaultRule:
     empty means every matching call.
     """
 
-    action: str = "raise"            # "raise" | "delay"
+    action: str = "raise"            # "raise" | "delay" | "exit"
     method: Optional[str] = None
     route: Optional[str] = None
     kind: Optional[str] = None       # query kind: single_source/single_pair/top_k
@@ -59,7 +62,7 @@ class FaultRule:
     delay_seconds: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.action not in ("raise", "delay"):
+        if self.action not in ("raise", "delay", "exit"):
             raise ValueError(f"unknown fault action: {self.action!r}")
         if self.action == "delay" and self.delay_seconds <= 0.0:
             raise ValueError("delay action requires positive delay_seconds")
@@ -132,6 +135,12 @@ class FaultPlan:
             if rule.action == "delay":
                 import time
                 time.sleep(rule.delay_seconds)
+            elif rule.action == "exit":
+                # A SIGKILL-equivalent crash: no cleanup, no atexit, no
+                # flushed buffers — exactly what the crash-consistency tests
+                # need at the WAL/repair/swap crash points.
+                import os
+                os._exit(137)
             else:
                 raise InjectedFault(rule, ordinal)
 

@@ -37,23 +37,27 @@ from typing import (Any, AsyncIterator, Callable, Deque, Dict, Iterable,
                     Optional, Tuple, Union)
 
 from repro.algorithms import registry
+from repro.graph.updates import EdgeBatch
 from repro.service.queries import (Query, QueryValidationError,
                                    query_from_dict, validate_query)
 from repro.service.resilience import (ERROR_OVERLOADED, ERROR_PARSE,
                                       ERROR_VALIDATION)
 from repro.service.workers import WorkerPool
 
-#: A parsed line: ("query", Query) or ("error", structured payload).
-ParsedLine = Tuple[str, Union[Query, Dict[str, Any]]]
+#: A parsed line: ("query", Query), ("update", EdgeBatch) or
+#: ("error", structured payload).
+ParsedLine = Tuple[str, Union[Query, EdgeBatch, Dict[str, Any]]]
 
 
 def parse_wire_line(line: str, num_nodes: int) -> ParsedLine:
-    """One JSONL wire line -> ("query", query) or ("error", payload).
+    """One JSONL wire line -> ("query"/"update", item) or ("error", payload).
 
     Split from the planner path so both the single-process CLI loop and the
     pool front end reject garbage identically: JSON decode errors become
     ``parse_error``, shape/validation problems become ``invalid_query``,
-    and either way the payload echoes the offending line.
+    and either way the payload echoes the offending line.  A line with
+    ``"type": "update"`` is an edge batch (``insert`` / ``delete`` edge
+    lists), validated against the node count like any query.
     """
     try:
         payload = json.loads(line)
@@ -63,6 +67,10 @@ def parse_wire_line(line: str, num_nodes: int) -> ParsedLine:
     try:
         if not isinstance(payload, dict):
             raise ValueError("query line must be a JSON object")
+        if payload.get("type") == "update":
+            batch = EdgeBatch.from_wire(payload)
+            batch.validate(num_nodes)
+            return ("update", batch)
         query = query_from_dict(payload)
         validate_query(query, num_nodes)
         if query.method is not None \
@@ -134,9 +142,12 @@ class Frontend:
         self._stopping = False
         self._aborted = False
         self._broken_pipe = False
+        #: Per-connection child front ends of serve_connections (fairness).
+        self._connections: set = set()
         self._counters: Dict[str, int] = {
             "lines": 0, "accepted": 0, "shed": 0,
             "parse_errors": 0, "invalid": 0, "responses": 0,
+            "updates": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -149,6 +160,8 @@ class Frontend:
         drains the pool and emits the final stats record.
         """
         self._stopping = True
+        for connection in list(self._connections):
+            connection.request_stop()
 
     @property
     def stopping(self) -> bool:
@@ -170,8 +183,13 @@ class Frontend:
                ) -> Union[Dict[str, Any], "asyncio.Future[Dict[str, Any]]"]:
         """Parse + admission-check one line.
 
-        Returns either an immediate payload (parse error, validation error,
-        shed) or the pool future of an accepted query.
+        Returns an immediate payload (parse error, validation error, shed),
+        the pool future of an accepted query, or — for an update line — the
+        coroutine of the durable pool acknowledgement, which the read loop
+        awaits *before reading further lines*: an update is a barrier, so a
+        stream's position order is its version order.  Updates bypass
+        shedding (they are rare control-plane writes, and silently dropping
+        one would desynchronize the client's view of the graph).
         """
         self._counters["lines"] += 1
         kind, item = parse_wire_line(line, self.num_nodes)
@@ -182,6 +200,10 @@ class Frontend:
             else:
                 self._counters["invalid"] += 1
             return item
+        if kind == "update":
+            assert isinstance(item, EdgeBatch)
+            self._counters["updates"] += 1
+            return self.pool.apply_update(item.to_wire())
         if self.shed and self._overloaded():
             self._counters["shed"] += 1
             return {"error": "server overloaded: query shed by admission "
@@ -272,7 +294,14 @@ class Frontend:
                         and self._inflight >= self.max_inflight):
                     self._capacity.clear()
                     await self._capacity.wait()
-                pending.append(self._admit(line))
+                item = self._admit(line)
+                if asyncio.iscoroutine(item):
+                    # Update barrier: await the durable acknowledgement
+                    # before reading any later line, so every query after
+                    # this line in the stream sees (at most-stale bounds)
+                    # the updated graph version.
+                    item = await item
+                pending.append(item)
                 arrived.set()
         finally:
             done_reading = True
@@ -280,16 +309,37 @@ class Frontend:
         await writer_task
         return failures
 
-    async def serve_connections(self, host: str, port: int):
+    async def serve_connections(self, host: str, port: int, *,
+                                per_connection_inflight: Optional[int] = None):
         """TCP JSONL server: one ordered response stream per connection.
 
         Returns the listening :class:`asyncio.Server`; the caller decides
         when to close it (typically on the same drain signal that stops the
-        stdin loop).  Connections share the pool and the admission window.
+        stdin loop).  Connections share the pool but each gets its **own
+        admission window** of ``per_connection_inflight`` (default: this
+        front end's ``max_inflight``): a single flooding client saturates
+        only its own window and the pool's queue watermark, while other
+        connections keep admitting — per-connection max-inflight fairness
+        instead of one shared window the loudest client monopolizes.
+        Per-connection counters are folded into this front end's stats when
+        the connection closes; :meth:`request_stop` propagates to every
+        open connection.
         """
+        limit = (int(per_connection_inflight)
+                 if per_connection_inflight is not None
+                 else self.max_inflight)
 
         async def handle(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
+            connection = Frontend(self.pool, self.num_nodes,
+                                  max_inflight=limit,
+                                  queue_watermark=self.queue_watermark,
+                                  shed=self.shed,
+                                  deadline_ms=self.deadline_ms)
+            self._connections.add(connection)
+            if self._stopping:
+                connection.request_stop()
+
             async def gen() -> AsyncIterator[str]:
                 while True:
                     raw = await reader.readline()
@@ -301,11 +351,14 @@ class Frontend:
                 writer.write((json.dumps(payload) + "\n").encode())
 
             try:
-                await self.serve_lines(gen(), write)
+                await connection.serve_lines(gen(), write)
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass
             finally:
+                self._connections.discard(connection)
+                for key, value in connection._counters.items():
+                    self._counters[key] = self._counters.get(key, 0) + value
                 try:
                     writer.close()
                 except Exception:

@@ -50,6 +50,18 @@ Index-based methods auto-load their persisted index from ``index_dir`` on
 first touch.  A corrupt or stale index file degrades to a rebuild with a
 logged structured warning (and an ``index_load_failures`` counter) — never
 an exception on the serving path.
+
+**Online updates.**  The planner participates in the versioned update plane
+of :mod:`repro.graph.context` / :mod:`repro.graph.updates`:
+:meth:`QueryPlanner.apply_updates` pushes an edge batch through the shared
+context (WAL-first when a log is attached), after which the planner keeps
+serving the *previous* graph version — every answer carries
+``stats["graph_version"]`` and ``stats["stale_updates"]`` so clients can see
+exactly how stale the snapshot is — until :meth:`QueryPlanner.
+complete_repairs` has repaired (or rebuilt) every live index and atomically
+swapped the served graph, cache scope and version forward at a batch
+boundary.  On construction with a ``wal``, the planner replays the log so a
+crash between acknowledgement and repair loses nothing.
 """
 
 from __future__ import annotations
@@ -70,6 +82,7 @@ from repro.baselines.base import (
 from repro.core.result import SinglePairResult, SingleSourceResult
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
+from repro.graph.updates import EdgeBatch, UpdateLog
 from repro.service.faults import FaultPlan
 from repro.service.queries import (
     KIND_SINGLE_PAIR,
@@ -219,6 +232,11 @@ class QueryPlanner:
     fault_plan:
         Optional deterministic fault injection consulted before every route
         execution (:mod:`repro.service.faults`).
+    wal:
+        Optional :class:`~repro.graph.updates.UpdateLog`.  When set, every
+        :meth:`apply_updates` batch is durably appended before it mutates
+        anything, and construction replays the log (then completes repairs)
+        so a restart resumes at exactly the acknowledged history.
     """
 
     def __init__(self, graph: DiGraph, *, context: Optional[GraphContext] = None,
@@ -230,7 +248,8 @@ class QueryPlanner:
                  index_mmap: bool = False,
                  deadline_ms: Optional[float] = None,
                  breaker: Optional[CircuitBreaker] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 wal: Optional[UpdateLog] = None):
         self.graph = graph
         self.context = context if context is not None else GraphContext.shared(graph)
         self.default_method = default_method
@@ -243,9 +262,13 @@ class QueryPlanner:
         self.deadline_ms = deadline_ms
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.fault_plan = fault_plan
+        self.wal = wal
         # Cache keys are scoped by the graph's structural fingerprint so a
-        # result can never outlive the structure it was computed on.
+        # result can never outlive the structure it was computed on; the
+        # fingerprint/version pair is re-verified on every answer() and
+        # advanced only by the atomic swap in complete_repairs().
         self._graph_key = graph.fingerprint().tobytes()
+        self._graph_version = self.context.version_of(graph)
         self._instances: Dict[Hashable, SimRankAlgorithm] = {}
         # Methods whose freshly built index should be persisted once an
         # actual query forces the build (never eagerly at construction).
@@ -262,7 +285,15 @@ class QueryPlanner:
             "route_failures": 0, "fallback_routes": 0,
             "degraded_answers": 0, "deadline_timeouts": 0,
             "breaker_rejections": 0,
+            "updates_applied": 0, "wal_replayed": 0,
+            "index_repairs": 0, "index_rebuilds": 0,
+            "version_swaps": 0, "stale_answers": 0,
         }
+        if wal is not None:
+            replayed = self.context.recover(wal)
+            if replayed:
+                self._counters["wal_replayed"] += replayed
+            self.complete_repairs()
 
     # ------------------------------------------------------------------ #
     # algorithm instances
@@ -336,6 +367,129 @@ class QueryPlanner:
                                  / f"{self.graph.name}.{method}.npz")
             self._pending_saves.discard(method)
             self._counters["index_builds_saved"] += 1
+
+    # ------------------------------------------------------------------ #
+    # online updates
+    # ------------------------------------------------------------------ #
+    @property
+    def graph_version(self) -> int:
+        """The version of the graph answers are computed on *right now*."""
+        return self._graph_version
+
+    @property
+    def stale_updates(self) -> int:
+        """Acknowledged update batches not yet folded into served answers."""
+        return max(0, self.context.graph_version - self._graph_version)
+
+    def apply_updates(self, batch: Union[EdgeBatch, Dict[str, Any]]
+                      ) -> Dict[str, Any]:
+        """Acknowledge one edge batch (WAL-first when a log is attached).
+
+        The batch becomes durable and versioned immediately; the planner
+        keeps *serving the previous version* — annotated with
+        ``stats["stale_updates"]`` — until :meth:`complete_repairs` swaps
+        the repaired indexes in at a batch boundary.  Returns the
+        acknowledgement record (new version, normalized change counts,
+        current staleness).
+        """
+        delta = self.context.apply_updates(batch, wal=self.wal,
+                                           fault_plan=self.fault_plan)
+        self._counters["updates_applied"] += 1
+        return {"type": "update", "graph_version": int(delta.version_to),
+                "inserted": int(delta.inserted.shape[0]),
+                "deleted": int(delta.deleted.shape[0]),
+                "stale_updates": self.stale_updates}
+
+    def complete_repairs(self) -> Dict[str, Any]:
+        """Repair every live index and atomically swap to the newest version.
+
+        Each constructed algorithm instance is repaired in place through the
+        verify-or-rebuild contract of :meth:`repro.baselines.base.
+        SimRankAlgorithm.repair`; an instance whose repair *raises* is
+        dropped for lazy reconstruction instead of poisoning the swap.  Only
+        after every instance is bound to the new graph do the served graph,
+        the cache scope (``_graph_key``) and the version advance — one
+        atomic batch boundary, with fault hooks ``("update", "repair")`` and
+        ``("update", "swap")`` on either side for crash testing.
+        """
+        target = self.context.graph_version
+        if target == self._graph_version and self.graph is self.context.graph:
+            return {"graph_version": target, "repairs": []}
+        try:
+            delta = self.context.delta_between(self._graph_version, target)
+        except KeyError:
+            # The old version fell out of the context's history window: no
+            # delta to repair against, so drop every instance and let the
+            # next query rebuild (or reload) against the new graph.
+            delta = None
+        if self.fault_plan is not None:
+            self.fault_plan.on_route_call("update", "repair", None)
+        repairs: List[Dict[str, Any]] = []
+        if delta is None:
+            self._instances.clear()
+            self._counters["index_rebuilds"] += 1
+            repairs.append({"method": "*", "strategy": "drop_all",
+                            "reason": "version history evicted"})
+        else:
+            instances: Dict[int, SimRankAlgorithm] = {
+                id(algorithm): algorithm
+                for algorithm in self._instances.values()}
+            for algorithm in instances.values():
+                try:
+                    report = algorithm.repair(delta)
+                except Exception as error:
+                    # A failed repair must not wedge the update plane: drop
+                    # the instance and rebuild lazily on the next query.
+                    self._instances = {
+                        key: held for key, held in self._instances.items()
+                        if held is not algorithm}
+                    self._counters["index_rebuilds"] += 1
+                    _LOGGER.warning(
+                        "repair-failed method=%s error=%r; dropping the "
+                        "instance for lazy rebuild", algorithm.name, error)
+                    repairs.append({"method": algorithm.name,
+                                    "strategy": "dropped",
+                                    "error": f"{type(error).__name__}: {error}"})
+                    continue
+                if report.get("strategy") in ("rebuild",
+                                              "rebuild_after_mismatch"):
+                    self._counters["index_rebuilds"] += 1
+                else:
+                    self._counters["index_repairs"] += 1
+                repairs.append({"method": algorithm.name,
+                                "strategy": report.get("strategy"),
+                                "verified": report.get("verified")})
+        if self.fault_plan is not None:
+            self.fault_plan.on_route_call("update", "swap", None)
+        self.graph = self.context.graph
+        self._graph_key = self.graph.fingerprint().tobytes()
+        self._graph_version = target
+        self.cache.clear()
+        self._counters["version_swaps"] += 1
+        return {"graph_version": target, "repairs": repairs}
+
+    def _verify_graph_binding(self) -> None:
+        """Refuse to serve a graph that drifted outside the update plane.
+
+        Two hazards, two outcomes: a bound graph whose fingerprint no longer
+        matches the cache scope (someone reassigned or mutated
+        ``planner.graph`` directly) **fails loudly** — serving would mix
+        results across structures; a bound graph that is merely an *older
+        retained version* of the context is the explained serve-stale window
+        during repair and serves fine, annotated with ``stale_updates``.
+        """
+        if self.graph.fingerprint().tobytes() != self._graph_key:
+            raise RuntimeError(
+                "planner graph changed outside the update plane: the served "
+                "graph no longer matches the fingerprint scoping the result "
+                "cache; route changes through apply_updates() + "
+                "complete_repairs() instead of rebinding planner.graph")
+        if self.graph is not self.context.graph \
+                and not self.context.knows_graph(self.graph):
+            raise RuntimeError(
+                "planner graph is not a retained version of its context: "
+                "the update plane cannot explain this binding, so answers "
+                "could be arbitrarily stale")
 
     # ------------------------------------------------------------------ #
     # cost model
@@ -458,6 +612,7 @@ class QueryPlanner:
         outcomes with ``error`` set, never as exceptions — only programmer
         errors (an unknown method name) still raise.
         """
+        self._verify_graph_binding()
         effective_ms = deadline_ms if deadline_ms is not None else self.deadline_ms
         outcomes: List[Optional[QueryOutcome]] = [None] * len(queries)
         # ((method, epsilon) -> source -> positions) of queries whose answer
@@ -509,6 +664,18 @@ class QueryPlanner:
             self._answer_pool(method, epsilon, by_source, queries, outcomes,
                               effective_ms)
         assert all(outcome is not None for outcome in outcomes)
+        # Every answer names the graph version it was computed on, and how
+        # many acknowledged batches it has not yet seen (the serve-stale
+        # window of an in-progress repair).  Re-stamped on every serve, so
+        # a cached result always reports the *current* staleness.
+        stale = self.stale_updates
+        if stale:
+            self._counters["stale_answers"] += sum(
+                1 for outcome in outcomes if outcome.result is not None)
+        for outcome in outcomes:
+            if outcome.result is not None:
+                outcome.result.stats["graph_version"] = float(self._graph_version)
+                outcome.result.stats["stale_updates"] = float(stale)
         return outcomes            # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
@@ -816,6 +983,8 @@ class QueryPlanner:
         """
         snapshot: Dict[str, Any] = {key: float(value)
                                     for key, value in self._counters.items()}
+        snapshot["graph_version"] = float(self._graph_version)
+        snapshot["stale_updates"] = float(self.stale_updates)
         snapshot["cache_hits"] = float(self.cache.hits)
         snapshot["cache_misses"] = float(self.cache.misses)
         snapshot["cache_entries"] = float(len(self.cache))
@@ -830,14 +999,18 @@ class QueryPlanner:
         return snapshot
 
 
-def outcome_to_wire(outcome: QueryOutcome, *, preview_k: int = 10) -> Dict[str, Any]:
+def outcome_to_wire(outcome: QueryOutcome, *, preview_k: int = 10,
+                    graph_version: Optional[int] = None) -> Dict[str, Any]:
     """Serialize one :class:`QueryOutcome` as a JSONL answer-stream object.
 
     The single-process CLI loop, the worker protocol and the socket front
     end all emit exactly this shape: a result payload
     (:func:`repro.service.queries.result_to_dict`) or a structured error
     (``error`` + stable ``code``), annotated with the route taken and the
-    degradation certificate when present.
+    degradation certificate when present.  ``graph_version`` (the serving
+    planner's current version) rides on every payload — including errors —
+    so a client can always tell which graph snapshot answered; when omitted
+    it is recovered from the result's own stats.
     """
     from repro.service.queries import result_to_dict
 
@@ -855,6 +1028,13 @@ def outcome_to_wire(outcome: QueryOutcome, *, preview_k: int = 10) -> Dict[str, 
             bound = outcome.result.stats.get("certified_bound")
             if bound is not None:
                 payload["certified_bound"] = float(bound)
+    stats = getattr(outcome.result, "stats", None) or {}
+    if graph_version is None and "graph_version" in stats:
+        graph_version = int(stats["graph_version"])
+    if graph_version is not None:
+        payload["graph_version"] = int(graph_version)
+    if stats.get("stale_updates"):
+        payload["stale_updates"] = int(stats["stale_updates"])
     payload["method"] = outcome.plan.method
     payload["route"] = outcome.plan.route
     return payload

@@ -34,6 +34,15 @@ the scale-out serving story (ROADMAP item 2):
   the supervisor counts against the budget; workers enforce it with the
   cooperative checkpoints of :mod:`repro.utils.deadline` and return
   degraded/timeout payloads exactly like the single-process planner.
+* **Ordered update broadcast.**  :meth:`WorkerPool.apply_update` owns the
+  write path for online graph updates: the batch is appended (fsync) to the
+  supervisor's WAL *before* the ack, then broadcast as an ``update`` frame
+  down every worker socket.  Per-socket frame ordering serializes the
+  update against query batches, each worker repairs its indexes and swaps
+  atomically (:meth:`~repro.service.planner.QueryPlanner.complete_repairs`),
+  and a respawned worker replays the full update history before its first
+  query — so every answer carries the ``graph_version`` it was computed on
+  and no acknowledged update is ever lost.
 * **Graceful drain.**  :meth:`WorkerPool.drain` stops dispatch, flushes
   in-flight work, asks each worker for its final planner stats, and reaps
   every child — the supervisor exits with zero orphans.
@@ -56,11 +65,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.graph.updates import EdgeBatch, UpdateLog
 from repro.service.planner import QueryPlanner, outcome_to_wire
 from repro.service.queries import Query, query_from_dict, query_to_dict
 from repro.service.resilience import (
     ERROR_DRAINING,
     ERROR_TIMEOUT,
+    ERROR_VALIDATION,
     ERROR_WORKER_LOST,
     CircuitBreaker,
     Deadline,
@@ -151,14 +162,37 @@ def _serve_batch(planner: QueryPlanner,
     """Answer one dispatched batch; never raises (one payload per query)."""
     deadline_ms = message.get("deadline_ms")
     wires = message.get("queries", [])
+    # The planner contract for workers is duck-typed (answer + stats);
+    # version stamping degrades to 0 rather than requiring the attribute.
+    version = int(getattr(planner, "graph_version", 0))
     try:
         queries = [query_from_dict(wire) for wire in wires]
         outcomes = planner.answer(queries, deadline_ms=deadline_ms)
-        return [outcome_to_wire(outcome) for outcome in outcomes]
+        return [outcome_to_wire(outcome, graph_version=version)
+                for outcome in outcomes]
     except Exception as error:  # a programmer error must not kill the worker
         payload = {"error": f"{type(error).__name__}: {error}",
-                   "code": "worker_error"}
+                   "code": "worker_error",
+                   "graph_version": version}
         return [dict(payload) for _ in wires]
+
+
+def _apply_update(planner: QueryPlanner,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
+    """Apply one broadcast update frame in the worker; never raises.
+
+    The supervisor already made the batch durable, so the worker applies
+    and repairs unconditionally: apply bumps the version, repair-and-swap
+    folds it into answers.  A failure leaves the worker serving its previous
+    version (stale but correct) and reports the error in the ack.
+    """
+    try:
+        planner.apply_updates(message.get("batch") or {})
+        report = planner.complete_repairs()
+        return {"ok": True, "graph_version": int(report["graph_version"])}
+    except Exception as error:
+        return {"ok": False, "error": f"{type(error).__name__}: {error}",
+                "graph_version": int(getattr(planner, "graph_version", 0))}
 
 
 def run_worker(sock: socket.socket,
@@ -200,6 +234,11 @@ def run_worker(sock: socket.socket,
                 send_frame(sock, {"op": "bye", "pid": os.getpid(),
                                   "stats": planner.stats()}, write_lock)
                 break
+            if op == "update":
+                ack = _apply_update(planner, message)
+                send_frame(sock, {"op": "update_done",
+                                  "id": message.get("id"), **ack}, write_lock)
+                continue
             if op != "batch":
                 continue
             results = _serve_batch(planner, message)
@@ -246,6 +285,8 @@ class _Slot:
         self.queue: Deque[_Request] = deque()
         self.wakeup = asyncio.Event()
         self.proc: Optional[_Process] = None
+        #: Last graph version this slot's worker acked (diagnostics only).
+        self.graph_version: Optional[int] = None
         #: (batch id, requests, deadline-at) of the one outstanding batch.
         self.outstanding: Optional[Tuple[int, List[_Request],
                                          Optional[float]]] = None
@@ -292,6 +333,15 @@ class WorkerPool:
     breaker:
         Per-slot circuit breaker (injectable clock for tests).  The default
         quarantines a slot after 3 consecutive deaths with 1 s cooldown.
+    wal / base_version:
+        Optional write-ahead log for :meth:`apply_update`: the supervisor
+        owns the single append handle (workers never touch the file), and
+        an update is fsynced before any worker — or the caller — sees the
+        ack.  ``base_version`` is the graph version already folded into the
+        graph that ``planner_factory`` closes over; with a WAL attached the
+        caller must recover the log into that graph first, so
+        ``base_version == wal.last_version()`` (anything else would make
+        workers and log disagree about history and is rejected).
     """
 
     def __init__(self, planner_factory: Callable[[], QueryPlanner], *,
@@ -303,7 +353,9 @@ class WorkerPool:
                  stuck_grace_ms: float = 2000.0,
                  max_redispatch: int = 5,
                  breaker: Optional[CircuitBreaker] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 wal: Optional[UpdateLog] = None,
+                 base_version: int = 0):
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         if batch_size < 1:
@@ -321,6 +373,16 @@ class WorkerPool:
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             failure_threshold=3, reset_timeout=1.0, max_timeout=30.0)
         self._clock = clock
+        self.wal = wal
+        self._update_version = int(base_version)
+        if wal is not None and wal.last_version() > self._update_version:
+            raise ValueError(
+                f"the WAL holds version {wal.last_version()} but the pool "
+                f"starts at {self._update_version}: recover the log into "
+                f"the factory graph before building the pool")
+        #: Ordered update frames since pool start; replayed to every
+        #: respawned worker so it catches up before serving queries.
+        self._update_history: List[Dict[str, Any]] = []
         self._slots = [_Slot(index) for index in range(self.num_workers)]
         self._generation = 0
         self._batch_ids = 0
@@ -335,6 +397,7 @@ class WorkerPool:
             "batches": 0, "queries": 0, "results": 0,
             "heartbeat_kills": 0, "stuck_kills": 0,
             "queue_timeouts": 0, "breaker_waits": 0,
+            "updates": 0, "update_replays": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -475,6 +538,48 @@ class WorkerPool:
         """Submit and await one query (convenience for tests/benchmarks)."""
         return await self.submit(query, deadline_ms=deadline_ms)
 
+    async def apply_update(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Durably acknowledge one edge batch and broadcast it to workers.
+
+        The ack is durable-first: with a WAL attached the batch is fsynced
+        *before* any worker — or the caller — sees it, so an acknowledged
+        update survives SIGKILL of the entire serving process.  Worker
+        sockets deliver frames in order, so each worker folds the update in
+        between query batches and swaps to the new version after its local
+        repair; a worker that dies before applying replays the full update
+        history on respawn.  Queries answered in the window before a
+        worker's swap carry the older ``graph_version`` — that is the
+        documented serve-stale window, not a lost update.
+        """
+        if self._draining or self._closing:
+            return _pool_error(
+                ERROR_DRAINING, "server draining: not accepting updates")
+        try:
+            batch = EdgeBatch.from_wire(record)
+        except ValueError as error:
+            return _pool_error(ERROR_VALIDATION, str(error))
+        version = self._update_version + 1
+        if self.wal is not None:
+            self.wal.append(batch, version)
+        self._update_version = version
+        frame = {"op": "update", "id": version,
+                 "batch": batch.to_wire(), "version_to": version}
+        self._update_history.append(frame)
+        self._stats["updates"] += 1
+        delivered = 0
+        for slot in self._slots:
+            proc = slot.proc
+            if proc is None:
+                continue
+            try:
+                proc.writer.write(encode_frame(frame))
+                await proc.writer.drain()
+                delivered += 1
+            except (ConnectionError, OSError):
+                await self._on_death(slot, proc)
+        return {"type": "update", "ok": True, "graph_version": version,
+                "durable": self.wal is not None, "delivered": delivered}
+
     def _enqueue(self, request: _Request) -> None:
         slot = self._route(request.source)
         slot.queue.append(request)
@@ -532,6 +637,17 @@ class WorkerPool:
         proc.reader_task = asyncio.create_task(self._read_worker(slot, proc))
         slot.proc = proc
         self._stats["spawns"] += 1
+        # Catch-up replay: a worker spawned (or respawned) after updates
+        # were acknowledged receives the full ordered history before any
+        # query batch, so it serves the same version as its siblings.
+        if self._update_history:
+            self._stats["update_replays"] += 1
+            try:
+                for frame in self._update_history:
+                    proc.writer.write(encode_frame(frame))
+                await proc.writer.drain()
+            except (ConnectionError, OSError):
+                pass                 # death surfaces via the reader task
 
     def _kill(self, pid: int) -> None:
         try:
@@ -566,6 +682,10 @@ class WorkerPool:
             op = message.get("op")
             if op == "result":
                 self._handle_result(slot, proc, message)
+            elif op == "update_done":
+                version = message.get("graph_version")
+                if isinstance(version, int):
+                    slot.graph_version = version
             elif op == "bye":
                 slot.bye_stats = message.get("stats")
         await self._on_death(slot, proc)
@@ -785,6 +905,10 @@ class WorkerPool:
         snapshot["num_workers"] = self.num_workers
         snapshot["alive"] = self.alive_count()
         snapshot["queue_depth"] = self.queue_depth()
+        snapshot["graph_version"] = int(self._update_version)
+        snapshot["worker_versions"] = [
+            slot.graph_version for slot in self._slots
+            if slot.graph_version is not None]
         rows = []
         for row in self.breaker.snapshot():
             key = row.pop("key")
