@@ -142,6 +142,164 @@ def _time(callable_, *args, repeats=5, **kwargs):
     return best
 
 
+# --------------------------------------------------------------------------- #
+# thread scaling: dense-lane propagation and sharded walk advancement
+# --------------------------------------------------------------------------- #
+THREAD_GRID = (1, 2, 4)
+LANES = 128
+SCALING_SEED = 2020
+
+
+def _dense_lane_inputs(graph, num_lanes=LANES):
+    from repro.graph.context import GraphContext
+
+    matrix = GraphContext.shared(graph).operator(DECAY).matrix
+    rng = np.random.default_rng(SCALING_SEED)
+    state = rng.random((graph.num_nodes, num_lanes))
+    return matrix, state
+
+
+def record_thread_scaling(quick=False):
+    """The multicore record: thread-blocked spmm and sharded walk advance.
+
+    Every dense-lane measurement first *asserts* bitwise equality against
+    the serial product — the determinism contract of
+    :mod:`repro.kernels.parallel` is part of what this bench certifies, not
+    an assumption.  ``cpu_count`` rides in the record because the speedup
+    claim is conditional on cores existing: on a 1-core runner the honest
+    measured ratio is ~1x (thread overhead, no parallel hardware) and the
+    acceptance target must be re-checked on a >=4-core machine, not
+    asserted from this file.
+    """
+    import os
+
+    from repro.kernels import parallel
+    from repro.randomwalk.aggregate import advance_frontier
+
+    datasets = ("GQ", "DB") if quick else ("GQ", "DB", "IT")
+    repeats = 2 if quick else 5
+    section = {
+        "cpu_count": os.cpu_count(),
+        "configured_threads": parallel.get_num_threads(),
+        "lanes": LANES,
+        "acceptance": {
+            "target": "dense_lane speedup >= 2.0 at 4 threads on IT",
+            "requires_cores": 4,
+            "met_on_this_machine": None,   # filled below when measurable
+        },
+        "datasets": {},
+    }
+    for key in datasets:
+        graph = load_dataset(key)
+        matrix, state = _dense_lane_inputs(graph)
+        serial = matrix @ state
+        work = int(matrix.nnz) * state.shape[1]
+        serial_s = _time(lambda: matrix @ state, repeats=repeats)
+        per_threads = {}
+        for threads in THREAD_GRID:
+            out = parallel.parallel_spmm(matrix, state, threads=threads)
+            assert np.array_equal(out, serial), (
+                f"{key}: dense-lane output diverged at {threads} threads")
+            spmm_s = _time(parallel.parallel_spmm, matrix, state,
+                           threads=threads, repeats=repeats)
+            per_threads[str(threads)] = {
+                "seconds": spmm_s,
+                "speedup_vs_serial": (serial_s / spmm_s if spmm_s > 0
+                                      else float("inf")),
+            }
+        # Sharded walk advancement: deterministic per (seed, shard count)
+        # but a *different* (exchangeable) sample than the serial stream,
+        # so the record carries mass/frontier stats, not bit equality.
+        in_degrees = graph.in_degrees
+        nodes = np.flatnonzero(in_degrees > 0).astype(np.int64)
+        counts = np.full(nodes.size, 50, dtype=np.int64)
+        walk = {}
+        for shards in (1, 4):
+            def _run():
+                rng = np.random.default_rng(SCALING_SEED)
+                advance_frontier(rng, graph.in_indptr, graph.in_indices,
+                                 in_degrees, nodes, counts, 0.8,
+                                 shards=shards)
+            walk_s = _time(_run, repeats=repeats)
+            rng = np.random.default_rng(SCALING_SEED)
+            dests, split = advance_frontier(
+                rng, graph.in_indptr, graph.in_indices, in_degrees,
+                nodes, counts, 0.8, shards=shards)
+            walk[str(shards)] = {"seconds": walk_s,
+                                 "surviving_walks": int(split.sum()),
+                                 "frontier_nnz": int(dests.size)}
+        section["datasets"][key] = {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "spmm_nnz": int(matrix.nnz),
+            # The auto heuristic only engages above MIN_PARALLEL_WORK; a
+            # small graph staying serial is the designed anti-target, not
+            # a missed speedup.
+            "parallel_engaged": bool(work >= parallel.MIN_PARALLEL_WORK),
+            "dense_lane": {"serial_s": serial_s, "threads": per_threads},
+            "walk_advance": walk,
+        }
+    cores = os.cpu_count() or 1
+    if "IT" in section["datasets"] and cores >= 4:
+        measured = section["datasets"]["IT"]["dense_lane"]["threads"]["4"]
+        section["acceptance"]["met_on_this_machine"] = (
+            measured["speedup_vs_serial"] >= 2.0)
+    return section
+
+
+def parallel_smoke():
+    """CI smoke: answers under the configured thread count must match serial.
+
+    Runs a dense-lane propagation and a stacked MultiPropagation advance at
+    the *environment-configured* thread count (``REPRO_NUM_THREADS``) and a
+    forced 4-thread run, asserts both are bit-identical to serial, and
+    prints one stable checksum line.  The CI job runs this twice —
+    ``REPRO_NUM_THREADS=1`` and ``=4`` — and diffs the checksum lines: any
+    thread-count-dependent bit anywhere in the answers breaks the diff.
+    """
+    import zlib
+
+    from repro.kernels import parallel
+    from repro.kernels.multiprop import MultiPropagation
+
+    graph = load_dataset("DB")
+    matrix, state = _dense_lane_inputs(graph, num_lanes=64)
+    serial = matrix @ state
+    for label, result in (
+            ("configured", parallel.parallel_spmm(matrix, state)),
+            ("forced-4", parallel.parallel_spmm(matrix, state, threads=4))):
+        if not np.array_equal(serial, result):
+            raise SystemExit(
+                f"parallel-smoke FAILED: dense-lane output diverged "
+                f"({label} threads)")
+
+    sources = np.argsort(-graph.in_degrees)[:32].astype(np.int64)
+    def _advance(min_work):
+        saved = parallel.MIN_PARALLEL_WORK
+        prop = MultiPropagation.forward(graph, num_lanes=sources.size)
+        prop.seed_units(sources)
+        try:
+            parallel.MIN_PARALLEL_WORK = min_work
+            for _ in range(3):
+                prop.step(scale=SQRT_C)
+        finally:
+            parallel.MIN_PARALLEL_WORK = saved
+        return prop.rows.copy(), prop.cols.copy(), prop.values.copy()
+
+    serial_state = _advance(1 << 62)       # heuristic never engages
+    forced_state = _advance(1)             # lane blocking always engages
+    for a, b in zip(serial_state, forced_state):
+        if not np.array_equal(a, b):
+            raise SystemExit("parallel-smoke FAILED: stacked advance "
+                             "diverged under lane blocking")
+
+    crc = zlib.crc32(np.ascontiguousarray(serial).tobytes())
+    for part in serial_state:
+        crc = zlib.crc32(np.ascontiguousarray(part).tobytes(), crc)
+    print(f"parallel-smoke ok threads={parallel.get_num_threads()} "
+          f"crc32=0x{crc:08x}")
+
+
 def record_baseline(path="BENCH_kernels.json"):
     """Measure kernel-vs-reference timings and write the perf baseline JSON."""
     import json
@@ -149,7 +307,9 @@ def record_baseline(path="BENCH_kernels.json"):
 
     payload = {"description": "Frontier-kernel perf baseline: dict-based "
                               "reference ('before') vs vectorized CSR kernels "
-                              "('after'), best of 5, seconds.",
+                              "('after'), best of 5, seconds; plus the "
+                              "multicore thread-scaling record (see "
+                              "thread_scaling.acceptance).",
                "python": platform.python_version(),
                "datasets": {}}
     for key in ("GQ", "DB"):
@@ -183,12 +343,24 @@ def record_baseline(path="BENCH_kernels.json"):
                                      "after_s": after_full,
                                      "speedup": before_full / after_full},
         }
+    payload["thread_scaling"] = record_thread_scaling()
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
     return payload
 
 
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI parallel-smoke: assert thread-count "
+                             "invariance and print a stable checksum line "
+                             "instead of regenerating the baseline")
+    args = parser.parse_args()
+    if args.quick:
+        parallel_smoke()
+        raise SystemExit(0)
     results = record_baseline()
     for key, entry in results["datasets"].items():
         for kernel in ("push_frontier", "propagate_distribution",
@@ -196,3 +368,11 @@ if __name__ == "__main__":
             stats = entry[kernel]
             print(f"{key} {kernel}: {stats['before_s']*1e3:.3f} ms -> "
                   f"{stats['after_s']*1e3:.3f} ms  ({stats['speedup']:.1f}x)")
+    for key, entry in results["thread_scaling"]["datasets"].items():
+        lane = entry["dense_lane"]
+        line = " ".join(
+            f"{threads}t={stats['speedup_vs_serial']:.2f}x"
+            for threads, stats in lane["threads"].items())
+        label = ("parallel" if entry["parallel_engaged"]
+                 else "serial anti-target")
+        print(f"{key} dense_lane ({label}): {line}")

@@ -25,6 +25,7 @@ from repro.diagonal.basic import (diagonal_repair_depth, estimate_diagonal_basic
                                   reestimate_diagonal_entries)
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
+from repro.kernels.parallel import parallel_spmm
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.deadline import active_deadline
 from repro.utils.rng import SeedLike
@@ -327,10 +328,12 @@ class LinearizationSimRank(SimRankAlgorithm):
                                           / (1.0 - self.decay))
                         break
                     hops.append(residual * planes)
-                    planes = sqrt_c * (self._operator.matrix @ planes)
+                    planes = sqrt_c * parallel_spmm(
+                        self._operator.matrix, planes)
                 current = scale * diagonal * hops[depth]
                 for level in range(1, depth + 1):
-                    current = sqrt_c * (self._operator.matrix_t @ current)
+                    current = sqrt_c * parallel_spmm(
+                        self._operator.matrix_t, current)
                     current += scale * diagonal * hops[depth - level]
                 np.clip(current, 0.0, 1.0, out=current)
                 columns.extend(current[:, position].copy()

@@ -50,6 +50,7 @@ from repro.diagonal.basic import (
 )
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
+from repro.kernels.parallel import parallel_spmm
 from repro.randomwalk.engine import SqrtCWalkEngine
 from repro.utils.deadline import active_deadline
 from repro.utils.rng import SeedLike
@@ -541,7 +542,10 @@ class SLING(SimRankAlgorithm):
                     if rows.nnz == 0:
                         continue
                     weighted = rows.toarray() * self._diagonal
-                    scores += hop_matrix @ weighted.T
+                    # Column-blocked threaded product; bit-identical to the
+                    # serial ``hop_matrix @ weighted.T`` (kernels/parallel).
+                    scores += parallel_spmm(
+                        hop_matrix, np.ascontiguousarray(weighted.T))
                 np.clip(scores, 0.0, 1.0, out=scores)
                 columns.extend(scores[:, position].copy()
                                for position in range(len(chunk)))

@@ -168,6 +168,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="shed overload with structured "
                                     "'overloaded' responses instead of "
                                     "pausing the input (pool mode)")
+    answer_parser.add_argument("--worker-threads", type=int, default=None,
+                               metavar="N",
+                               help="kernel threads per pool worker (default: "
+                                    "REPRO_NUM_THREADS if set, else "
+                                    "cores // workers)")
     answer_parser.add_argument("--chaos-kill-every", type=int, default=0,
                                metavar="N",
                                help="chaos testing: SIGKILL a random worker "
@@ -513,17 +518,24 @@ async def _serve_pool(args: argparse.Namespace, graph: DiGraph,
                       wal: Optional[UpdateLog] = None) -> int:
     """The supervised multi-worker serving loop (``--workers N``)."""
     base_version = 0
+    context = GraphContext.shared(graph)
     if wal is not None:
         # Recover acknowledged history into the shared context *before*
         # forking: every worker then starts at the recovered version, and
         # the pool appends new updates after the replayed tail.
-        context = GraphContext.shared(graph)
         context.recover(wal)
         base_version = context.graph_version
+    # The supervisor places the CSR arrays (graph + the default method's
+    # transition matrices) in an explicit shared-memory segment; workers
+    # rebind to it read-only after the fork, so the hot arrays stay one
+    # physical copy instead of slowly privatizing under COW.
     pool = WorkerPool(planner_factory, num_workers=args.workers,
                       batch_size=args.batch_size,
                       deadline_ms=args.deadline_ms,
-                      wal=wal, base_version=base_version)
+                      wal=wal, base_version=base_version,
+                      shared_graph=context.graph,
+                      shared_decays=(args.decay,),
+                      worker_threads=args.worker_threads)
     await pool.start()
     frontend = Frontend(pool, graph.num_nodes,
                         max_inflight=args.max_inflight,

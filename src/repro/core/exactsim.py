@@ -40,6 +40,7 @@ from repro.diagonal.basic import estimate_diagonal_basic_batch
 from repro.diagonal.local import DistributionCache, estimate_diagonal_local_batch
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
+from repro.kernels.parallel import parallel_spmm
 from repro.ppr.hop_ppr import HopPPR, hop_ppr_vectors
 from repro.ppr.push import forward_push_hop_ppr_batch
 from repro.randomwalk.engine import SqrtCWalkEngine
@@ -351,7 +352,7 @@ class ExactSim(SimRankAlgorithm):
                                                    np.split(values, splits))):
                     hops_per_source[b].append(
                         SparseVector(idx.astype(np.int64), val))
-            current = sqrt_c * (matrix @ current)
+            current = sqrt_c * parallel_spmm(matrix, current)
 
         return [HopPPR(source=source, decay=config.decay, num_hops=num_iterations,
                        hops=hops_per_source[b],
@@ -473,7 +474,7 @@ class ExactSim(SimRankAlgorithm):
                                    scale, diagonals[b])
         matrix_t = self._operator.matrix_t
         for level in range(1, num_iterations + 1):
-            current = sqrt_c * (matrix_t @ current)
+            current = sqrt_c * parallel_spmm(matrix_t, current)
             for b, hop_ppr in enumerate(hop_pprs):
                 self._add_weighted_hop(current, b, hop_ppr,
                                        num_iterations - level, scale, diagonals[b])

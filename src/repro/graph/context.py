@@ -142,8 +142,28 @@ class GraphContext:
         _SHARED_CONTEXTS[new_graph] = self
         return delta
 
+    def _install_version(self, graph: DiGraph, version: int) -> None:
+        """Adopt a reconstructed graph at ``version`` (checkpoint restore).
+
+        Same bookkeeping as :meth:`_apply_batch` minus the delta: the
+        checkpointed prefix was compacted away, so there is no batch to
+        diff against — only a new current graph to serve and re-key.
+        """
+        self.graph = graph
+        self._graph_version = int(version)
+        self._operators.clear()
+        self._history.append((self._graph_version, graph))
+        del self._history[:-_VERSION_HISTORY_LIMIT]
+        _SHARED_CONTEXTS[graph] = self
+
     def recover(self, wal) -> int:
         """Replay a write-ahead log on top of the current version.
+
+        When a sibling graph checkpoint exists next to the log (written by
+        the serving loop before it compacted the WAL prefix), the context
+        first jumps to the checkpointed graph/version, then replays only
+        the surviving tail — so compaction never creates the version gap
+        the contiguity check below would (rightly) refuse.
 
         Records at or below the current version are skipped (idempotent
         replay); the rest are re-applied *without* re-appending, restoring
@@ -151,8 +171,22 @@ class GraphContext:
         replayed.  Records must be contiguous — a gap means the log and the
         graph disagree about history, which is corruption, not a tail.
         """
-        from repro.graph.updates import EdgeBatch, WalCorruptionError
+        from repro.graph.updates import (EdgeBatch, GraphCheckpoint,
+                                         WalCorruptionError)
 
+        snapshot = GraphCheckpoint.for_wal(wal).load()
+        if snapshot is not None:
+            graph, version = snapshot
+            if version > self._graph_version:
+                if graph.num_nodes != self.graph.num_nodes \
+                        or graph.name != self.graph.name:
+                    raise WalCorruptionError(
+                        f"{wal.path}: checkpoint describes a different "
+                        f"graph ({graph.name!r}, {graph.num_nodes} nodes) "
+                        f"than the one being recovered "
+                        f"({self.graph.name!r}, {self.graph.num_nodes} "
+                        "nodes)")
+                self._install_version(graph, version)
         replayed = 0
         for record in wal.replay():
             version_to = int(record.get("version_to", 0))

@@ -32,9 +32,11 @@ old and the new graph (a deleted path still influenced the old walks).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import struct
+import zipfile
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -450,6 +452,102 @@ class UpdateLog:
         return len(records)
 
 
+class GraphCheckpoint:
+    """An atomically written snapshot of one graph version, paired with a WAL.
+
+    Compaction safety contract: :meth:`UpdateLog.compact` may only drop the
+    prefix up to version ``v`` once a checkpoint *at* version ``v`` is
+    durably on disk.  Recovery (:meth:`repro.graph.context.GraphContext.
+    recover`) then rebuilds the graph from the checkpoint before replaying
+    the remaining tail — without the checkpoint, a compacted log's first
+    record would jump past the base graph's version and replay would
+    correctly refuse the gap.
+
+    The snapshot stores the full edge array plus the graph's fingerprint;
+    :meth:`load` re-verifies the fingerprint after reconstruction, so a
+    checkpoint corrupted at rest fails loudly instead of silently serving a
+    different graph than was acknowledged.
+    """
+
+    #: Appended to the WAL's file name to derive the sibling checkpoint path.
+    SUFFIX = ".checkpoint.npz"
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    @classmethod
+    def for_wal(cls, wal: "UpdateLog") -> "GraphCheckpoint":
+        """The checkpoint that guards compaction of ``wal``."""
+        wal_path = Path(wal.path)
+        return cls(wal_path.with_name(wal_path.name + cls.SUFFIX))
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, graph: DiGraph, version: int) -> Path:
+        """Durably snapshot ``graph`` at ``version`` (tmp + fsync + replace)."""
+        payload = {
+            "edges": graph.edge_array(),
+            "num_nodes": np.int64(graph.num_nodes),
+            "version": np.int64(int(version)),
+            "directed": np.bool_(graph.directed),
+            "name": np.array(graph.name),
+            "fingerprint": graph.fingerprint(),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = self.path.with_name(f".{self.path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise
+        _fsync_directory(self.path.parent)
+        return self.path
+
+    def load(self) -> Optional[Tuple[DiGraph, int]]:
+        """The snapshot as ``(graph, version)``, or ``None`` when absent.
+
+        The reconstructed graph's fingerprint must match the stored one —
+        a mismatch (or an unreadable file) raises
+        :class:`WalCorruptionError`, because a wrong checkpoint combined
+        with a compacted WAL cannot be recovered past silently.
+        """
+        if not self.path.exists():
+            return None
+        try:
+            with np.load(self.path, allow_pickle=False) as data:
+                edges = np.asarray(data["edges"], dtype=np.int64)
+                num_nodes = int(data["num_nodes"])
+                version = int(data["version"])
+                directed = bool(data["directed"])
+                name = str(data["name"])
+                fingerprint = np.asarray(data["fingerprint"])
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile) as error:
+            raise WalCorruptionError(
+                f"{self.path}: graph checkpoint is corrupt or unreadable "
+                f"({error})") from error
+        # ``edge_array`` already lists both directions of an undirected
+        # graph, so the CSRs are rebuilt from the literal pairs and only
+        # the flag is restored afterwards.
+        graph = DiGraph.from_edges(edges.reshape(-1, 2), num_nodes,
+                                   directed=True, name=name)
+        if not directed:
+            graph = dataclasses.replace(graph, directed=False)
+        if not np.array_equal(graph.fingerprint(), fingerprint):
+            raise WalCorruptionError(
+                f"{self.path}: checkpoint fingerprint mismatch after "
+                "reconstruction (corruption at rest)")
+        return graph, version
+
+
 def _fsync_directory(directory: Path) -> None:
     """Best-effort directory fsync (persists creates/renames where supported)."""
     try:
@@ -464,6 +562,7 @@ def _fsync_directory(directory: Path) -> None:
 
 __all__ = [
     "EdgeBatch",
+    "GraphCheckpoint",
     "GraphDelta",
     "UpdateLog",
     "WalCorruptionError",

@@ -55,6 +55,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.kernels import parallel
 from repro.kernels.frontier import (_DENSE_SCATTER_CAP, propagate_batch,
                                     propagate_batch_transpose,
                                     propagate_distribution,
@@ -271,14 +272,19 @@ class MultiPropagation:
         if wide is not None and wide.any():
             new_rows, new_cols, new_vals = self._advance_hybrid(
                 adv_rows, adv_cols, adv_vals, wide)
-        elif self.transpose:
-            new_rows, new_cols, new_vals, _ = propagate_batch_transpose(
-                self._indptr, self._indices, self._in_degrees,
-                adv_rows, adv_cols, adv_vals, num_nodes=self.num_nodes)
         else:
-            new_rows, new_cols, new_vals, _ = propagate_batch(
-                self._indptr, self._indices, adv_rows, adv_cols, adv_vals,
-                num_nodes=self.num_nodes)
+            blocks = parallel.lane_entry_blocks(adv_rows, self.num_lanes)
+            if len(blocks) > 1:
+                new_rows, new_cols, new_vals = self._advance_blocked(
+                    adv_rows, adv_cols, adv_vals, blocks)
+            elif self.transpose:
+                new_rows, new_cols, new_vals, _ = propagate_batch_transpose(
+                    self._indptr, self._indices, self._in_degrees,
+                    adv_rows, adv_cols, adv_vals, num_nodes=self.num_nodes)
+            else:
+                new_rows, new_cols, new_vals, _ = propagate_batch(
+                    self._indptr, self._indices, adv_rows, adv_cols, adv_vals,
+                    num_nodes=self.num_nodes)
         if scale != 1.0:
             new_vals = scale * new_vals
         if thresholds is not None:
@@ -297,6 +303,40 @@ class MultiPropagation:
             self._rows, self._cols, self._vals = \
                 rows[order], cols[order], vals[order]
         return edges
+
+    def _advance_blocked(self, adv_rows: np.ndarray, adv_cols: np.ndarray,
+                         adv_vals: np.ndarray, blocks
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance lane-aligned entry blocks on separate threads; concatenate.
+
+        Each block holds whole lanes of the lane-major stacked frontier, so
+        per-``(lane, node)`` contributions arrive in the same occurrence
+        order as in one stacked call and the scatter-add sums them
+        identically — like :meth:`_advance_hybrid`, a pure scheduling
+        decision that changes no float.  Lane ids are rebased per block to
+        keep each scatter's key space lane-count-sized, then restored, and
+        block-order concatenation preserves the lane-major sort.
+        """
+
+        def _run(bounds):
+            lo, hi = bounds
+            lane_lo = int(adv_rows[lo])
+            rows = adv_rows[lo:hi] - lane_lo
+            if self.transpose:
+                r, c, v, _ = propagate_batch_transpose(
+                    self._indptr, self._indices, self._in_degrees,
+                    rows, adv_cols[lo:hi], adv_vals[lo:hi],
+                    num_nodes=self.num_nodes)
+            else:
+                r, c, v, _ = propagate_batch(
+                    self._indptr, self._indices, rows, adv_cols[lo:hi],
+                    adv_vals[lo:hi], num_nodes=self.num_nodes)
+            return r + lane_lo, c, v
+
+        parts = parallel.run_blocks(_run, blocks)
+        return (np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]),
+                np.concatenate([p[2] for p in parts]))
 
     def _advance_hybrid(self, adv_rows: np.ndarray, adv_cols: np.ndarray,
                         adv_vals: np.ndarray, wide: np.ndarray
@@ -426,7 +466,7 @@ class DenseLanePropagation:
         checkpoint(CHECKPOINT_LEVEL)
         edges = (self._degrees.astype(np.float64)
                  @ (self._state != 0.0)).astype(np.int64)
-        self._state = self._matrix @ self._state
+        self._state = parallel.parallel_spmm(self._matrix, self._state)
         if scale != 1.0:
             self._state *= scale
         return edges

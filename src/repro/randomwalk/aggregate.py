@@ -22,6 +22,23 @@ dwarfs the reachable neighbourhood.
 
 All kernels draw from a caller-supplied :class:`numpy.random.Generator`, so
 identical seeds reproduce identical results bit for bit.
+
+Sharded advancement
+-------------------
+When a frontier holds at least :data:`SHARD_MIN_STATES` distinct occupied
+states and the process is configured for more than one kernel thread
+(:mod:`repro.kernels.parallel`), the advance splits the state arrays into
+contiguous per-thread shards, each drawing from its own
+``Generator.spawn`` child stream.  Collapsed walks are exchangeable, so
+which shard a state lands in only re-partitions the ensemble — every shard
+advances its walks with the same closed-form distributions, and the
+post-move ``group_sum`` collapses the union exactly as in the serial path.
+The result is *not* bit-identical to the serial stream (different draws),
+but it is a sample of the same distribution and is deterministic given
+``(seed, shard count)``: child streams come from ``spawn``, whose keys
+depend only on the parent seed and the spawn order, never on thread
+scheduling.  Below the threshold (every tier-1 test graph) the serial
+stream runs untouched, so pinned fixtures see identical bits.
 """
 
 from __future__ import annotations
@@ -30,9 +47,23 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.kernels import parallel
 from repro.utils.deadline import CHECKPOINT_WALK_BATCH, checkpoint
 
 _EMPTY_INT = np.empty(0, dtype=np.int64)
+
+#: Minimum distinct occupied states before an advance auto-shards; chosen so
+#: every pinned-fixture graph in the test suite stays on the serial stream.
+SHARD_MIN_STATES = 1 << 15
+
+
+def walk_shards(num_states: int, *, threads: Optional[int] = None) -> int:
+    """Shard count the auto heuristic picks for ``num_states`` occupied states."""
+    if threads is None:
+        threads = parallel.get_num_threads()
+    if threads <= 1 or num_states < SHARD_MIN_STATES:
+        return 1
+    return max(1, min(int(threads), num_states // (SHARD_MIN_STATES // 2)))
 
 
 def group_sum(counts: np.ndarray, *keys: np.ndarray
@@ -192,15 +223,51 @@ def multinomial_split(rng: np.random.Generator, indptr: np.ndarray,
 def advance_frontier(rng: np.random.Generator, indptr: np.ndarray,
                      indices: np.ndarray, in_degrees: np.ndarray,
                      nodes: np.ndarray, counts: np.ndarray,
-                     survival: float) -> Tuple[np.ndarray, np.ndarray]:
+                     survival: float, *,
+                     shards: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
     """One aggregated √c-walk step of a ``(nodes, counts)`` frontier.
 
     Each of the collapsed walks survives independently with probability
     ``survival`` (pass 1.0 for a non-stop prefix step); survivors at dangling
     nodes stop regardless.  Returns the aggregated next frontier.
+
+    ``shards`` forces the shard count; the default picks it with
+    :func:`walk_shards` (1 below :data:`SHARD_MIN_STATES` states — the
+    serial stream, bit-identical to earlier releases).  With ``n > 1``
+    shards the draws come from ``rng.spawn(n)`` child streams, one per
+    contiguous state shard (see the module docstring for the contract).
     """
     counts = np.asarray(counts, dtype=np.int64)
     nodes = np.asarray(nodes, dtype=np.int64)
+    num_shards = walk_shards(nodes.size) if shards is None \
+        else max(1, int(shards))
+    if num_shards > 1 and nodes.size >= num_shards:
+        streams = rng.spawn(num_shards)
+        bounds = np.linspace(0, nodes.size, num_shards + 1).astype(np.int64)
+
+        def _shard(index: int):
+            lo, hi = int(bounds[index]), int(bounds[index + 1])
+            return _advance_slice(streams[index], indptr, indices, in_degrees,
+                                  nodes[lo:hi], counts[lo:hi], survival)
+
+        parts = parallel.run_blocks(_shard, list(range(num_shards)))
+        dests = np.concatenate([p[0] for p in parts])
+        split = np.concatenate([p[1] for p in parts])
+    else:
+        dests, split = _advance_slice(rng, indptr, indices, in_degrees,
+                                      nodes, counts, survival)
+    if dests.size == 0:
+        return _EMPTY_INT, _EMPTY_INT
+    (unique_dests,), sums = group_sum(split, dests)
+    return unique_dests, sums
+
+
+def _advance_slice(rng: np.random.Generator, indptr: np.ndarray,
+                   indices: np.ndarray, in_degrees: np.ndarray,
+                   nodes: np.ndarray, counts: np.ndarray, survival: float
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Thin and split one state slice; returns unaggregated (dests, counts)."""
     if survival < 1.0:
         counts = rng.binomial(counts, survival)
     keep = (counts > 0) & (in_degrees[nodes] > 0)
@@ -208,15 +275,15 @@ def advance_frontier(rng: np.random.Generator, indptr: np.ndarray,
     if nodes.size == 0:
         return _EMPTY_INT, _EMPTY_INT
     _, dests, split = multinomial_split(rng, indptr, indices, nodes, counts)
-    (unique_dests,), sums = group_sum(split, dests)
-    return unique_dests, sums
+    return dests, split
 
 
 def pair_meet_counts(rng: np.random.Generator, indptr: np.ndarray,
                      indices: np.ndarray, in_degrees: np.ndarray,
                      decay: float, first: np.ndarray, second: np.ndarray,
                      counts: np.ndarray, *, max_steps: int,
-                     skip_steps: np.ndarray) -> np.ndarray:
+                     skip_steps: np.ndarray,
+                     shards: Optional[int] = None) -> np.ndarray:
     """Aggregated pair-of-√c-walks meeting counts, one entry per origin.
 
     Entry ``p`` simulates ``counts[p]`` independent pairs of √c-walks started
@@ -234,6 +301,12 @@ def pair_meet_counts(rng: np.random.Generator, indptr: np.ndarray,
     realised as two independent multinomial splits (first over ``u``'s
     in-edges, then over ``v``'s).  Pairs where either walk reaches a dangling
     node can never meet again and are dropped.
+
+    ``shards`` forces the per-step shard count (default: the
+    :func:`walk_shards` heuristic on the live distinct-state count).  A
+    sharded step moves each contiguous state shard under its own spawned
+    child stream and regroups the union once — same distribution, serial
+    stream untouched below the threshold.
     """
     first = np.asarray(first, dtype=np.int64)
     second = np.asarray(second, dtype=np.int64)
@@ -251,23 +324,30 @@ def pair_meet_counts(rng: np.random.Generator, indptr: np.ndarray,
         if m.size == 0:
             break
         checkpoint(CHECKPOINT_WALK_BATCH)
-        # Survival: both coins at once (probability c) outside the prefix.
-        survivors = m.copy()
-        flipping = skip_steps[origin] < step
-        if flipping.any():
-            survivors[flipping] = rng.binomial(m[flipping], decay)
-        keep = (survivors > 0) & (in_degrees[u] > 0) & (in_degrees[v] > 0)
-        origin, u, v, m = origin[keep], u[keep], v[keep], survivors[keep]
+        num_shards = walk_shards(m.size) if shards is None \
+            else max(1, int(shards))
+        if num_shards > 1 and m.size >= num_shards:
+            streams = rng.spawn(num_shards)
+            bounds = np.linspace(0, m.size, num_shards + 1).astype(np.int64)
+
+            def _shard(index: int):
+                lo, hi = int(bounds[index]), int(bounds[index + 1])
+                return _pair_step(streams[index], indptr, indices, in_degrees,
+                                  decay, skip_steps, step, origin[lo:hi],
+                                  u[lo:hi], v[lo:hi], m[lo:hi])
+
+            parts = parallel.run_blocks(_shard, list(range(num_shards)))
+            origin = np.concatenate([p[0] for p in parts])
+            u = np.concatenate([p[1] for p in parts])
+            v = np.concatenate([p[2] for p in parts])
+            m = np.concatenate([p[3] for p in parts])
+        else:
+            origin, u, v, m = _pair_step(rng, indptr, indices, in_degrees,
+                                         decay, skip_steps, step, origin, u,
+                                         v, m)
         if m.size == 0:
             break
-        # Move the first walk of every pair, then the second.  No aggregation
-        # in between: splitting the counts of duplicate intermediate states
-        # separately is distributionally identical to splitting their sum
-        # (multinomial additivity), and the post-move regroup collapses both.
-        rows, dest_u, split = multinomial_split(rng, indptr, indices, u, m)
-        origin, v, u, m = origin[rows], v[rows], dest_u, split
-        rows, dest_v, split = multinomial_split(rng, indptr, indices, v, m)
-        origin, u, v, m = _regroup(split, origin[rows], u[rows], dest_v)
+        origin, u, v, m = _regroup(m, origin, u, v)
         # Meetings: count post-prefix ones, drop prefix ones entirely.
         same = u == v
         if same.any():
@@ -278,6 +358,34 @@ def pair_meet_counts(rng: np.random.Generator, indptr: np.ndarray,
     return met
 
 
+def _pair_step(rng: np.random.Generator, indptr: np.ndarray,
+               indices: np.ndarray, in_degrees: np.ndarray, decay: float,
+               skip_steps: np.ndarray, step: int, origin: np.ndarray,
+               u: np.ndarray, v: np.ndarray, m: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One pre-regroup pair move: survival coins, then both neighbour splits.
+
+    Returns the moved (still unaggregated) ``(origin, u, v, m)`` arrays.
+    """
+    # Survival: both coins at once (probability c) outside the prefix.
+    survivors = m.copy()
+    flipping = skip_steps[origin] < step
+    if flipping.any():
+        survivors[flipping] = rng.binomial(m[flipping], decay)
+    keep = (survivors > 0) & (in_degrees[u] > 0) & (in_degrees[v] > 0)
+    origin, u, v, m = origin[keep], u[keep], v[keep], survivors[keep]
+    if m.size == 0:
+        return origin, u, v, m
+    # Move the first walk of every pair, then the second.  No aggregation
+    # in between: splitting the counts of duplicate intermediate states
+    # separately is distributionally identical to splitting their sum
+    # (multinomial additivity), and the post-move regroup collapses both.
+    rows, dest_u, split = multinomial_split(rng, indptr, indices, u, m)
+    origin, v, u, m = origin[rows], v[rows], dest_u, split
+    rows, dest_v, split = multinomial_split(rng, indptr, indices, v, m)
+    return origin[rows], u[rows], dest_v, split
+
+
 def _regroup(split: np.ndarray, origin: np.ndarray, u: np.ndarray, v: np.ndarray
              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Aggregate split pair states back to unique ``(origin, u, v)`` triples."""
@@ -286,8 +394,10 @@ def _regroup(split: np.ndarray, origin: np.ndarray, u: np.ndarray, v: np.ndarray
 
 
 __all__ = [
+    "SHARD_MIN_STATES",
     "advance_frontier",
     "group_sum",
     "multinomial_split",
     "pair_meet_counts",
+    "walk_shards",
 ]

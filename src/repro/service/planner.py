@@ -82,7 +82,8 @@ from repro.baselines.base import (
 from repro.core.result import SinglePairResult, SingleSourceResult
 from repro.graph.context import GraphContext
 from repro.graph.digraph import DiGraph
-from repro.graph.updates import EdgeBatch, UpdateLog
+from repro.graph.updates import EdgeBatch, GraphCheckpoint, UpdateLog
+from repro.kernels import parallel as kernel_parallel
 from repro.service.faults import FaultPlan
 from repro.service.queries import (
     KIND_SINGLE_PAIR,
@@ -288,6 +289,7 @@ class QueryPlanner:
             "updates_applied": 0, "wal_replayed": 0,
             "index_repairs": 0, "index_rebuilds": 0,
             "version_swaps": 0, "stale_answers": 0,
+            "wal_compactions": 0, "indices_persisted_on_swap": 0,
         }
         if wal is not None:
             replayed = self.context.recover(wal)
@@ -466,7 +468,57 @@ class QueryPlanner:
         self._graph_version = target
         self.cache.clear()
         self._counters["version_swaps"] += 1
-        return {"graph_version": target, "repairs": repairs}
+        report = {"graph_version": target, "repairs": repairs}
+        maintenance = self._checkpoint_and_compact(target)
+        if maintenance is not None:
+            report["wal"] = maintenance
+        return report
+
+    def _checkpoint_and_compact(self, version: int) -> Optional[Dict[str, Any]]:
+        """Persist repaired indices, checkpoint the graph, truncate the WAL.
+
+        Runs after every swap when a WAL is attached, in a crash-safe
+        order: (1) every *prepared* persistable instance is re-saved
+        stamped at ``version``, so a restart loads indices that match the
+        post-compaction graph instead of rebuilding; (2) a graph
+        checkpoint at ``version`` is atomically written next to the WAL;
+        (3) only then does :meth:`UpdateLog.compact` drop the records the
+        checkpoint made redundant.  A crash between any two steps leaves
+        recovery exact — the WAL keeps its prefix until the checkpoint
+        that covers it is durable, and :meth:`GraphContext.recover` skips
+        replayed records at or below the checkpoint version.
+        """
+        if self.wal is None:
+            return None
+        persisted = 0
+        if self.index_dir is not None and self.save_indices:
+            instances = {id(algorithm): algorithm
+                         for algorithm in self._instances.values()}
+            for algorithm in instances.values():
+                if not algorithm.prepared \
+                        or not registry.get_spec(algorithm.name).supports_persistence:
+                    continue
+                path = self.index_dir / f"{self.graph.name}.{algorithm.name}.npz"
+                try:
+                    algorithm.save_index(path)
+                except (IndexPersistenceError, OSError) as error:
+                    # Persistence is an optimization; the checkpoint alone
+                    # keeps recovery exact, so a failed save must not
+                    # block compaction.
+                    _LOGGER.warning("post-swap index save failed for %s "
+                                    "(%s); recovery will rebuild it",
+                                    algorithm.name, error)
+                    continue
+                self._pending_saves.discard(algorithm.name)
+                persisted += 1
+        checkpoint = GraphCheckpoint.for_wal(self.wal)
+        checkpoint.save(self.graph, version)
+        kept = self.wal.compact(version)
+        self._counters["wal_compactions"] += 1
+        self._counters["indices_persisted_on_swap"] += persisted
+        return {"compacted_to": int(version), "records_kept": int(kept),
+                "indices_persisted": persisted,
+                "checkpoint": str(checkpoint.path)}
 
     def _verify_graph_binding(self) -> None:
         """Refuse to serve a graph that drifted outside the update plane.
@@ -593,6 +645,26 @@ class QueryPlanner:
                 deadline_ms: Optional[float] = None) -> QueryOutcome:
         """Answer one query on the cheapest capable path."""
         return self.answer([query], deadline_ms=deadline_ms)[0]
+
+    def prewarm(self, sources: Sequence[int]) -> int:
+        """Compute and cache single-source answers for ``sources``.
+
+        The warm-up path of a respawned pool worker: running each source
+        through :meth:`answer` installs its vector in the result cache, so
+        the affinity traffic the slot was serving hits warm entries again.
+        Invalid node ids are skipped; returns how many sources were warmed.
+        Warm-up queries count in the planner's serving counters (they are
+        real answers, just unsolicited).
+        """
+        if not self.cache.max_entries:
+            return 0
+        num_nodes = self.graph.num_nodes
+        valid = [int(source) for source in sources
+                 if 0 <= int(source) < num_nodes]
+        if not valid:
+            return 0
+        self.answer([SingleSourceQuery(source=source) for source in valid])
+        return len(valid)
 
     def answer(self, queries: Sequence[Query], *,
                deadline_ms: Optional[float] = None) -> List[QueryOutcome]:
@@ -984,6 +1056,7 @@ class QueryPlanner:
         snapshot: Dict[str, Any] = {key: float(value)
                                     for key, value in self._counters.items()}
         snapshot["graph_version"] = float(self._graph_version)
+        snapshot["kernel_threads"] = float(kernel_parallel.get_num_threads())
         snapshot["stale_updates"] = float(self.stale_updates)
         snapshot["cache_hits"] = float(self.cache.hits)
         snapshot["cache_misses"] = float(self.cache.misses)

@@ -1,0 +1,198 @@
+"""Explicit shared-memory graph segments for the worker pool.
+
+Fork gives workers the graph copy-on-write, which is *almost* shared memory:
+any page a worker's allocator, refcounter, or stray write touches silently
+privatizes, so a long-lived pool's per-worker RSS creeps toward N private
+copies of the hottest arrays.  A :class:`GraphSegment` removes the "almost":
+the supervisor copies the CSR arrays — the graph's in/out adjacency, the
+degree vectors, and the weighted transition matrices of the decays it plans
+to serve — into one ``multiprocessing.shared_memory`` block *before* forking,
+and each worker rebinds the very same Python objects (the frozen
+:class:`~repro.graph.digraph.DiGraph`, the cached scipy operators) to
+read-only numpy views over that block.  ``MAP_SHARED`` pages never privatize,
+so the arrays stay one physical copy for the lifetime of the pool no matter
+what the workers' heaps do around them.
+
+Lifecycle contract (enforced by :class:`~repro.service.workers.WorkerPool`):
+
+* ``create`` runs in the supervisor before the first fork; the segment's
+  ``SharedMemory`` handle is inherited by every worker through the fork —
+  workers never open the segment by name, so a SIGKILLed worker can neither
+  leak a handle nor trip ``resource_tracker`` into unlinking it.
+* ``adopt`` runs in each forked child before its planner is built; it
+  replaces the closed-over arrays in place, so every consumer downstream of
+  the factory reads shared pages without knowing the segment exists.  The
+  views are marked non-writeable — the graph is immutable by contract and
+  the segment is the one physical copy for all workers.
+* ``destroy`` runs in the supervisor on drain/close and unlinks the
+  segment exactly once; chaos-killed workers never unlink (they hold no
+  name registration), so respawned siblings keep attaching until the
+  supervisor itself lets go.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.context import GraphContext
+from repro.graph.digraph import DiGraph
+
+_ALIGN = 64
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class GraphSegment:
+    """One shared-memory block holding a graph's CSR arrays (and operators).
+
+    Build with :meth:`create` in the supervisor; call :meth:`adopt` in each
+    forked worker; call :meth:`destroy` in the supervisor when the pool
+    drains.  The object itself travels to the children by fork — the layout
+    metadata and the array-owner references need no serialization.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 layout: Dict[str, Tuple[int, str, Tuple[int, ...]]],
+                 owners: List[Tuple[Any, str, bool]]):
+        self._shm = shm
+        self._layout = layout
+        #: (owner object, attribute, via object.__setattr__) per shared array;
+        #: keys into ``layout`` are ``f"{index}"`` in owner order.
+        self._owners = owners
+        self._destroyed = False
+        #: Strong reference keeping the graph's weakly-cached
+        #: :class:`GraphContext` (and its operator cache) alive for the
+        #: pool's lifetime: workers resolve their operators through
+        #: ``GraphContext.shared(graph)``, and only an identical context
+        #: hands them the matrices this segment rebinds.
+        self._context: Optional[GraphContext] = None
+
+    # ------------------------------------------------------------------ #
+    # supervisor side
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, graph: DiGraph, *, decays: Sequence[float] = (),
+               context: Optional[GraphContext] = None) -> "GraphSegment":
+        """Copy the graph's hot arrays into one fresh shared segment.
+
+        ``decays`` lists the SimRank decay factors whose weighted transition
+        matrices (``P`` and ``Pᵀ``) should ride along; they are built here —
+        in the supervisor, once — so no worker ever materializes a private
+        copy.  The graph's cached degree vectors are forced and shared too.
+        """
+        if context is None:
+            context = GraphContext.shared(graph)
+        owners: List[Tuple[Any, str, bool]] = [
+            (graph, "in_indptr", True),
+            (graph, "in_indices", True),
+            (graph, "out_indptr", True),
+            (graph, "out_indices", True),
+            (graph, "_in_degrees", True),
+            (graph, "_out_degrees", True),
+        ]
+        graph.in_degrees          # force the cached degree vectors to exist
+        graph.out_degrees
+        for decay in dict.fromkeys(float(d) for d in decays):
+            operator = context.operator(decay)
+            for matrix in (operator.matrix, operator.matrix_t):
+                owners.extend([(matrix, "indptr", False),
+                               (matrix, "indices", False),
+                               (matrix, "data", False)])
+
+        layout: Dict[str, Tuple[int, str, Tuple[int, ...]]] = {}
+        offset = 0
+        for index, (owner, attribute, _frozen) in enumerate(owners):
+            array = np.ascontiguousarray(getattr(owner, attribute))
+            layout[str(index)] = (offset, array.dtype.str, array.shape)
+            offset += _aligned(array.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        segment = cls(shm, layout, owners)
+        segment._context = context
+        for index, (owner, attribute, _frozen) in enumerate(owners):
+            array = np.ascontiguousarray(getattr(owner, attribute))
+            view = segment._view(str(index), writeable=True)
+            view[...] = array
+        return segment
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent; supervisor only)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def adopt(self) -> int:
+        """Rebind every registered array to a read-only shared view (child).
+
+        Returns the number of arrays rebound.  After this, the closed-over
+        graph and operator objects serve all reads from ``MAP_SHARED``
+        pages; their original COW heap arrays become garbage.
+        """
+        count = 0
+        for index, (owner, attribute, frozen) in enumerate(self._owners):
+            view = self._view(str(index), writeable=False)
+            if frozen:
+                object.__setattr__(owner, attribute, view)
+            else:
+                setattr(owner, attribute, view)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # introspection / internals
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def exists(self) -> bool:
+        """Whether the segment is still linked in the OS namespace.
+
+        Checked via the ``/dev/shm`` filesystem where available: attaching a
+        probe ``SharedMemory`` would re-register the name with this
+        process's resource tracker and race the creator's own registration.
+        """
+        shm_dir = "/dev/shm"
+        if os.path.isdir(shm_dir):
+            return os.path.exists(
+                os.path.join(shm_dir, self._shm.name.lstrip("/")))
+        try:
+            probe = shared_memory.SharedMemory(name=self._shm.name)
+        except FileNotFoundError:
+            return False
+        probe.close()
+        return True
+
+    def _view(self, key: str, *, writeable: bool) -> np.ndarray:
+        offset, dtype_str, shape = self._layout[key]
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape)) if shape else 1
+        flat = np.frombuffer(self._shm.buf, dtype=dtype, count=count,
+                             offset=offset)
+        view = flat.reshape(shape)
+        if not writeable:
+            view.flags.writeable = False
+        return view
+
+
+__all__ = ["GraphSegment"]

@@ -61,12 +61,15 @@ import socket
 import struct
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.graph.digraph import DiGraph
 from repro.graph.updates import EdgeBatch, UpdateLog
+from repro.kernels import parallel as kernel_parallel
 from repro.service.planner import QueryPlanner, outcome_to_wire
+from repro.service.shm import GraphSegment
 from repro.service.queries import Query, query_from_dict, query_to_dict
 from repro.service.resilience import (
     ERROR_DRAINING,
@@ -177,6 +180,22 @@ def _serve_batch(planner: QueryPlanner,
         return [dict(payload) for _ in wires]
 
 
+def _prewarm(planner: QueryPlanner, message: Dict[str, Any]) -> Dict[str, Any]:
+    """Warm the planner's cached vectors for the frame's sources; never raises.
+
+    Sent by the supervisor to a respawned worker before any query batch, so
+    a slot that crashed rejoins the rotation with the single-source vectors
+    its affinity traffic was hitting already cached.
+    """
+    sources = message.get("sources") or []
+    try:
+        count = planner.prewarm(sources)
+        return {"ok": True, "count": int(count)}
+    except Exception as error:
+        return {"ok": False, "count": 0,
+                "error": f"{type(error).__name__}: {error}"}
+
+
 def _apply_update(planner: QueryPlanner,
                   message: Dict[str, Any]) -> Dict[str, Any]:
     """Apply one broadcast update frame in the worker; never raises.
@@ -239,6 +258,10 @@ def run_worker(sock: socket.socket,
                 send_frame(sock, {"op": "update_done",
                                   "id": message.get("id"), **ack}, write_lock)
                 continue
+            if op == "prewarm":
+                ack = _prewarm(planner, message)
+                send_frame(sock, {"op": "prewarm_done", **ack}, write_lock)
+                continue
             if op != "batch":
                 continue
             results = _serve_batch(planner, message)
@@ -292,6 +315,19 @@ class _Slot:
                                          Optional[float]]] = None
         self.batch_done = asyncio.Event()
         self.bye_stats: Optional[Dict[str, Any]] = None
+        #: LRU of sources this slot served (most recent last); a respawned
+        #: worker pre-warms these before rejoining the dispatch rotation.
+        self.hot_sources: "OrderedDict[int, None]" = OrderedDict()
+
+    #: How many recently-served sources a slot remembers for prewarm.
+    HOT_SOURCES_CAP = 16
+
+    def record_sources(self, requests: List["_Request"]) -> None:
+        for request in requests:
+            self.hot_sources[request.source] = None
+            self.hot_sources.move_to_end(request.source)
+        while len(self.hot_sources) > self.HOT_SOURCES_CAP:
+            self.hot_sources.popitem(last=False)
 
     def load(self) -> int:
         outstanding = len(self.outstanding[1]) if self.outstanding else 0
@@ -342,6 +378,21 @@ class WorkerPool:
         caller must recover the log into that graph first, so
         ``base_version == wal.last_version()`` (anything else would make
         workers and log disagree about history and is rejected).
+    shared_graph / shared_decays:
+        When ``shared_graph`` is given, :meth:`start` copies its CSR arrays
+        (plus the transition matrices of ``shared_decays``) into an explicit
+        :class:`~repro.service.shm.GraphSegment` before the first fork; each
+        worker rebinds the closed-over graph to read-only views over the
+        segment, so the arrays stay one physical ``MAP_SHARED`` copy instead
+        of slowly privatizing under COW.  The segment is unlinked on
+        :meth:`drain`/:meth:`close` — never by a worker, so chaos-killed
+        children cannot leak or destroy it.
+    worker_threads:
+        Kernel threads each worker configures for itself
+        (:func:`repro.kernels.parallel.set_num_threads`).  Default: the
+        ``REPRO_NUM_THREADS`` environment override if set, else
+        ``cores // num_workers`` (at least 1) so the pool as a whole never
+        oversubscribes the machine.
     """
 
     def __init__(self, planner_factory: Callable[[], QueryPlanner], *,
@@ -355,7 +406,10 @@ class WorkerPool:
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Callable[[], float] = time.monotonic,
                  wal: Optional[UpdateLog] = None,
-                 base_version: int = 0):
+                 base_version: int = 0,
+                 shared_graph: Optional[DiGraph] = None,
+                 shared_decays: Sequence[float] = (),
+                 worker_threads: Optional[int] = None):
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         if batch_size < 1:
@@ -374,6 +428,16 @@ class WorkerPool:
             failure_threshold=3, reset_timeout=1.0, max_timeout=30.0)
         self._clock = clock
         self.wal = wal
+        self._shared_graph = shared_graph
+        self.shared_decays = tuple(shared_decays)
+        self._segment: Optional[GraphSegment] = None
+        if worker_threads is not None:
+            self.worker_threads = max(1, int(worker_threads))
+        elif os.environ.get("REPRO_NUM_THREADS", "").strip():
+            self.worker_threads = kernel_parallel.default_num_threads()
+        else:
+            self.worker_threads = max(
+                1, (os.cpu_count() or 1) // int(num_workers))
         self._update_version = int(base_version)
         if wal is not None and wal.last_version() > self._update_version:
             raise ValueError(
@@ -398,6 +462,7 @@ class WorkerPool:
             "heartbeat_kills": 0, "stuck_kills": 0,
             "queue_timeouts": 0, "breaker_waits": 0,
             "updates": 0, "update_replays": 0,
+            "prewarms": 0, "prewarmed_sources": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -408,6 +473,9 @@ class WorkerPool:
         if self._started:
             return self
         self._started = True
+        if self._shared_graph is not None and self._segment is None:
+            self._segment = GraphSegment.create(self._shared_graph,
+                                                decays=self.shared_decays)
         for slot in self._slots:
             await self._spawn(slot)
         for slot in self._slots:
@@ -438,6 +506,7 @@ class WorkerPool:
                 ERROR_DRAINING, "server draining before the query completed"))
         await self._shutdown_workers()
         await self._teardown_tasks()
+        self._release_segment()
         return self.stats()
 
     async def close(self) -> None:
@@ -455,6 +524,12 @@ class WorkerPool:
                 self._kill(slot.proc.pid)
         await self._shutdown_workers(polite=False)
         await self._teardown_tasks()
+        self._release_segment()
+
+    def _release_segment(self) -> None:
+        """Unlink the shared graph segment exactly once (supervisor only)."""
+        if self._segment is not None:
+            self._segment.destroy()
 
     def _collect_pending(self) -> List[_Request]:
         pending: List[_Request] = []
@@ -621,6 +696,12 @@ class WorkerPool:
                         os.close(fd)
                     except OSError:
                         pass
+                # Rebind the closed-over graph to the shared segment and
+                # claim this worker's kernel-thread share before the
+                # planner factory (and anything it caches) runs.
+                if self._segment is not None:
+                    self._segment.adopt()
+                kernel_parallel.set_num_threads(self.worker_threads)
                 run_worker(child_sock, self._planner_factory,
                            self.heartbeat_interval)
             except BaseException:
@@ -645,6 +726,18 @@ class WorkerPool:
             try:
                 for frame in self._update_history:
                     proc.writer.write(encode_frame(frame))
+                await proc.writer.drain()
+            except (ConnectionError, OSError):
+                pass                 # death surfaces via the reader task
+        # Cold-respawn affinity fix: hand the worker the slot's hot sources
+        # so it rebuilds its cached vectors *before* the first query batch
+        # (frames are ordered per socket, so prewarm completes first).
+        if slot.hot_sources:
+            self._stats["prewarms"] += 1
+            try:
+                proc.writer.write(encode_frame(
+                    {"op": "prewarm",
+                     "sources": list(slot.hot_sources)}))
                 await proc.writer.drain()
             except (ConnectionError, OSError):
                 pass                 # death surfaces via the reader task
@@ -686,6 +779,10 @@ class WorkerPool:
                 version = message.get("graph_version")
                 if isinstance(version, int):
                     slot.graph_version = version
+            elif op == "prewarm_done":
+                count = message.get("count")
+                if isinstance(count, int):
+                    self._stats["prewarmed_sources"] += count
             elif op == "bye":
                 slot.bye_stats = message.get("stats")
         await self._on_death(slot, proc)
@@ -834,6 +931,7 @@ class WorkerPool:
                    "deadline_ms": deadline_ms}
         slot.batch_done = asyncio.Event()
         slot.outstanding = (batch_id, requests, deadline_at)
+        slot.record_sources(requests)
         self._stats["batches"] += 1
         self._stats["queries"] += len(requests)
         try:
@@ -898,11 +996,19 @@ class WorkerPool:
         return [slot.proc.pid for slot in self._slots
                 if slot.proc is not None]
 
+    @property
+    def segment(self) -> Optional[GraphSegment]:
+        """The pool's shared graph segment (``None`` without one / after drain)."""
+        return self._segment
+
     def stats(self) -> Dict[str, Any]:
         """JSON-serializable pool health: counters, breakers, worker stats."""
         snapshot: Dict[str, Any] = {key: int(value)
                                     for key, value in self._stats.items()}
         snapshot["num_workers"] = self.num_workers
+        snapshot["worker_threads"] = self.worker_threads
+        snapshot["shared_segment_bytes"] = (
+            self._segment.nbytes if self._segment is not None else 0)
         snapshot["alive"] = self.alive_count()
         snapshot["queue_depth"] = self.queue_depth()
         snapshot["graph_version"] = int(self._update_version)

@@ -1,0 +1,562 @@
+"""Thread-invariance and multicore-substrate tests (PR 10).
+
+The determinism contract under test, in three tiers:
+
+1. **Bit-identical regardless of thread count** — dense-lane spmm
+   (column blocking) and the stacked COO advance (lane blocking) must
+   produce the same bits at 1, 2 and 4 threads, because blocking never
+   changes any per-element summation order.
+2. **Deterministic given (seed, shard count)** — sharded walk advancement
+   draws from ``rng.spawn`` child streams: a different (exchangeable)
+   sample than the serial stream, but exactly reproducible.
+3. **Serial below threshold** — every tier-1 test graph sits under
+   ``SHARD_MIN_STATES``, so the auto path must keep the pinned serial
+   stream bit-for-bit.
+
+Plus the pool-level machinery the substrate feeds: the shared-memory graph
+segment lifecycle (adopt, destroy, no leak across chaos kills), respawn
+prewarming, and restart-after-WAL-compaction recovery.
+"""
+
+import asyncio
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.graph.context import GraphContext
+from repro.graph.digraph import DiGraph
+from repro.graph.updates import (
+    EdgeBatch,
+    GraphCheckpoint,
+    UpdateLog,
+    WalCorruptionError,
+)
+from repro.kernels import parallel
+from repro.kernels.multiprop import DenseLanePropagation, MultiPropagation
+from repro.randomwalk.aggregate import (
+    SHARD_MIN_STATES,
+    advance_frontier,
+    walk_shards,
+)
+
+THREAD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture
+def random_graph():
+    rng = np.random.default_rng(42)
+    edges = rng.integers(0, 300, size=(1500, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return DiGraph.from_edges(edges, 300, name="par-test")
+
+
+@pytest.fixture
+def forced_parallel(monkeypatch):
+    """Drop the work threshold so even tiny fixtures take the blocked path."""
+    monkeypatch.setattr(parallel, "MIN_PARALLEL_WORK", 1)
+
+
+# --------------------------------------------------------------------------- #
+# thread-count plumbing
+# --------------------------------------------------------------------------- #
+def test_env_var_sets_default(monkeypatch):
+    monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+    assert parallel.default_num_threads() == 3
+
+
+def test_env_var_garbage_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_NUM_THREADS", "not-a-number")
+    assert parallel.default_num_threads() >= 1
+
+
+def test_set_get_num_threads():
+    saved = parallel.get_num_threads()
+    try:
+        parallel.set_num_threads(2)
+        assert parallel.get_num_threads() == 2
+        parallel.set_num_threads(0)                 # clamps to 1
+        assert parallel.get_num_threads() == 1
+    finally:
+        parallel.set_num_threads(saved)
+
+
+def test_column_blocks_cover_and_partition():
+    blocks = parallel.column_blocks(17, threads=4)
+    assert blocks[0][0] == 0 and blocks[-1][1] == 17
+    for (_, hi), (lo, _) in zip(blocks, blocks[1:]):
+        assert hi == lo
+
+
+def test_lane_entry_blocks_align_to_lanes():
+    rows = np.repeat(np.arange(6, dtype=np.int64), [5, 1, 9, 2, 7, 3])
+    blocks = parallel.lane_entry_blocks(rows, 6, threads=3, min_entries=1)
+    assert blocks[0][0] == 0 and blocks[-1][1] == rows.size
+    for lo, hi in blocks:
+        if lo > 0:
+            assert rows[lo] != rows[lo - 1]     # never splits inside a lane
+        if hi < rows.size:
+            assert rows[hi] != rows[hi - 1]
+
+
+# --------------------------------------------------------------------------- #
+# tier 1: bit-identical at every thread count
+# --------------------------------------------------------------------------- #
+def test_parallel_spmm_bit_identical(random_graph, forced_parallel):
+    matrix = GraphContext.shared(random_graph).operator(0.6).matrix
+    rng = np.random.default_rng(0)
+    dense = rng.random((random_graph.num_nodes, 32))
+    serial = matrix @ dense
+    for threads in THREAD_COUNTS:
+        out = parallel.parallel_spmm(matrix, dense, threads=threads)
+        assert np.array_equal(out, serial)
+
+
+def test_parallel_spmm_single_column_and_vector(random_graph):
+    matrix = GraphContext.shared(random_graph).operator(0.6).matrix
+    vector = np.random.default_rng(1).random(random_graph.num_nodes)
+    assert np.array_equal(parallel.parallel_spmm(matrix, vector, threads=4),
+                          matrix @ vector)
+    column = vector.reshape(-1, 1)
+    assert np.array_equal(parallel.parallel_spmm(matrix, column, threads=4),
+                          matrix @ column)
+
+
+def test_dense_lane_propagation_thread_invariant(random_graph,
+                                                 forced_parallel):
+    operator = GraphContext.shared(random_graph).operator(0.6)
+    sources = np.arange(16, dtype=np.int64)
+    states = {}
+    for threads in THREAD_COUNTS:
+        parallel.set_num_threads(threads)
+        try:
+            prop = DenseLanePropagation.forward(random_graph, sources.size,
+                                                operator)
+            prop.seed_units(sources)
+            for _ in range(4):
+                prop.step(scale=float(np.sqrt(0.6)))
+            states[threads] = prop.snapshot()
+        finally:
+            parallel.set_num_threads(parallel.default_num_threads())
+    for threads in THREAD_COUNTS[1:]:
+        for a, b in zip(states[threads], states[1]):
+            assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("transpose", [False, True])
+def test_multiprop_advance_thread_invariant(random_graph, forced_parallel,
+                                            transpose):
+    sources = np.argsort(-random_graph.in_degrees)[:24].astype(np.int64)
+    states = {}
+    for threads in THREAD_COUNTS:
+        parallel.set_num_threads(threads)
+        try:
+            prop = (MultiPropagation.adjoint(random_graph, sources.size)
+                    if transpose
+                    else MultiPropagation.forward(random_graph, sources.size))
+            prop.seed_units(sources)
+            for _ in range(3):
+                prop.step(scale=np.sqrt(0.6))
+            states[threads] = (prop.rows.copy(), prop.cols.copy(),
+                               prop.values.copy())
+        finally:
+            parallel.set_num_threads(parallel.default_num_threads())
+    for threads in THREAD_COUNTS[1:]:
+        for a, b in zip(states[threads], states[1]):
+            assert np.array_equal(a, b)
+
+
+def test_multiprop_single_lane_b1(random_graph, forced_parallel):
+    """B=1: lane blocking must degenerate gracefully to one block."""
+    prop = MultiPropagation.forward(random_graph, 1)
+    prop.seed_units(np.array([int(np.argmax(random_graph.in_degrees))]))
+    reference = MultiPropagation.forward(random_graph, 1)
+    reference.seed_units(np.array([int(np.argmax(random_graph.in_degrees))]))
+    for threads in THREAD_COUNTS:
+        parallel.set_num_threads(threads)
+        try:
+            prop.step()
+        finally:
+            parallel.set_num_threads(parallel.default_num_threads())
+        reference.step()
+        assert np.array_equal(prop.cols, reference.cols)
+        assert np.array_equal(prop.values, reference.values)
+
+
+def test_multiprop_empty_frontier(forced_parallel):
+    """An empty stacked state advances to an empty state at any width."""
+    graph = DiGraph.from_edges([(0, 1), (1, 2)], 3, name="tiny")
+    for threads in THREAD_COUNTS:
+        parallel.set_num_threads(threads)
+        try:
+            prop = MultiPropagation.forward(graph, 4)
+            prop.step()
+            assert prop.rows.size == 0
+        finally:
+            parallel.set_num_threads(parallel.default_num_threads())
+
+
+def test_dangling_nodes_thread_invariant(forced_parallel):
+    """Lanes seeded on dangling nodes (no in-neighbours) die identically."""
+    graph = DiGraph.from_edges([(0, 1), (2, 1), (3, 4)], 6, name="dangle")
+    dangling = graph.dangling_nodes()
+    assert dangling.size > 0
+    seeds = np.array([int(dangling[0]), 1, 4], dtype=np.int64)
+    states = {}
+    for threads in THREAD_COUNTS:
+        parallel.set_num_threads(threads)
+        try:
+            prop = MultiPropagation.forward(graph, seeds.size)
+            prop.seed_units(seeds)
+            prop.step()
+            states[threads] = (prop.rows.copy(), prop.cols.copy())
+        finally:
+            parallel.set_num_threads(parallel.default_num_threads())
+    for threads in THREAD_COUNTS[1:]:
+        for a, b in zip(states[threads], states[1]):
+            assert np.array_equal(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# tier 2/3: sharded walks — deterministic per (seed, shards), serial below
+# the threshold
+# --------------------------------------------------------------------------- #
+def test_walk_shards_serial_below_threshold():
+    assert walk_shards(SHARD_MIN_STATES - 1, threads=8) == 1
+    assert walk_shards(0, threads=8) == 1
+    assert walk_shards(SHARD_MIN_STATES * 4, threads=1) == 1
+    assert walk_shards(SHARD_MIN_STATES * 4, threads=4) > 1
+
+
+def test_advance_frontier_auto_matches_serial(random_graph):
+    """Below the threshold the auto path must keep the pinned serial bits."""
+    in_degrees = random_graph.in_degrees
+    nodes = np.flatnonzero(in_degrees > 0).astype(np.int64)
+    counts = np.full(nodes.size, 9, dtype=np.int64)
+    auto = advance_frontier(np.random.default_rng(7), random_graph.in_indptr,
+                            random_graph.in_indices, in_degrees, nodes,
+                            counts, 0.8)
+    serial = advance_frontier(np.random.default_rng(7),
+                              random_graph.in_indptr,
+                              random_graph.in_indices, in_degrees, nodes,
+                              counts, 0.8, shards=1)
+    assert np.array_equal(auto[0], serial[0])
+    assert np.array_equal(auto[1], serial[1])
+
+
+def test_advance_frontier_sharded_deterministic(random_graph):
+    in_degrees = random_graph.in_degrees
+    nodes = np.flatnonzero(in_degrees > 0).astype(np.int64)
+    counts = np.full(nodes.size, 9, dtype=np.int64)
+    runs = [advance_frontier(np.random.default_rng(7),
+                             random_graph.in_indptr,
+                             random_graph.in_indices, in_degrees, nodes,
+                             counts, 0.8, shards=4) for _ in range(2)]
+    assert np.array_equal(runs[0][0], runs[1][0])
+    assert np.array_equal(runs[0][1], runs[1][1])
+
+
+def test_advance_frontier_sharded_mass_conserved(random_graph):
+    """survival=1.0, no dangling: sharding must move every single walk."""
+    in_degrees = random_graph.in_degrees
+    nodes = np.flatnonzero(in_degrees > 0).astype(np.int64)
+    counts = np.full(nodes.size, 5, dtype=np.int64)
+    dests, split = advance_frontier(
+        np.random.default_rng(3), random_graph.in_indptr,
+        random_graph.in_indices, in_degrees, nodes, counts, 1.0, shards=4)
+    assert int(split.sum()) == int(counts.sum())
+    assert np.all(np.diff(dests) > 0)               # aggregated and sorted
+
+
+def test_advance_frontier_empty(random_graph):
+    empty = np.array([], dtype=np.int64)
+    dests, split = advance_frontier(
+        np.random.default_rng(0), random_graph.in_indptr,
+        random_graph.in_indices, random_graph.in_degrees, empty, empty,
+        0.8, shards=4)
+    assert dests.size == 0 and split.size == 0
+
+
+# --------------------------------------------------------------------------- #
+# consumers: end-to-end answers are thread-invariant
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("method,config", [
+    ("sling", {"epsilon": 1e-2, "seed": 5}),
+    ("linearization", {"samples_per_node": 30, "epsilon": 1e-3, "seed": 5}),
+    ("exactsim", {"epsilon": 1e-2, "seed": 5, "max_total_samples": 20_000}),
+])
+def test_method_answers_thread_invariant(random_graph, forced_parallel,
+                                         method, config):
+    from repro.algorithms import registry
+
+    scores = {}
+    for threads in (1, 4):
+        parallel.set_num_threads(threads)
+        try:
+            algorithm = registry.create(method, random_graph, dict(config))
+            algorithm.preprocess()
+            scores[threads] = algorithm.single_source(3).scores
+        finally:
+            parallel.set_num_threads(parallel.default_num_threads())
+    assert np.array_equal(scores[1], scores[4])
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory graph segments
+# --------------------------------------------------------------------------- #
+def _segment_graph():
+    rng = np.random.default_rng(99)
+    edges = rng.integers(0, 80, size=(350, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return DiGraph.from_edges(edges, 80, name="segment-graph")
+
+
+# Adopting in the creating process (workers adopt post-fork in production)
+# leaves numpy views exporting the segment buffer, so the SharedMemory's
+# GC-time close raises a BufferError it cannot deliver — expected here.
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning")
+def test_graph_segment_lifecycle():
+    from repro.service.shm import GraphSegment
+
+    graph = _segment_graph()
+    context = GraphContext(graph)
+    segment = GraphSegment.create(graph, decays=(0.6,), context=context)
+    try:
+        assert segment.exists()
+        assert segment.nbytes > 0
+        before = graph.in_indices.copy()
+        rebound = segment.adopt()
+        assert rebound >= 6
+        assert np.array_equal(graph.in_indices, before)
+        assert not graph.in_indices.flags.writeable
+        matrix = context.operator(0.6).matrix
+        assert not matrix.data.flags.writeable
+    finally:
+        segment.destroy()
+    assert not segment.exists()
+    segment.destroy()                               # idempotent
+
+
+def test_graph_segment_destroy_unlinks_once():
+    from repro.service.shm import GraphSegment
+
+    graph = _segment_graph()
+    segment = GraphSegment.create(graph, context=GraphContext(graph))
+    name = segment.name
+    segment.destroy()
+    assert not os.path.exists(os.path.join("/dev/shm", name.lstrip("/"))) \
+        or not os.path.isdir("/dev/shm")
+
+
+async def _wait_for(predicate, timeout=15.0, interval=0.05):
+    for _ in range(int(timeout / interval)):
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+def _pool_factory(graph):
+    from repro.service.planner import QueryPlanner
+
+    def factory():
+        return QueryPlanner(graph, default_method="sling",
+                            method_configs={"sling": {"epsilon": 3e-2,
+                                                      "seed": 7}},
+                            cache_entries=32)
+    return factory
+
+
+def test_pool_segment_survives_chaos_kill_then_unlinks():
+    """The acceptance scenario: a SIGKILLed worker neither corrupts nor
+    unlinks the shared segment; only the supervisor's drain does."""
+    import signal
+
+    from repro.service.workers import WorkerPool
+    from repro.service.queries import SinglePairQuery
+
+    graph = _segment_graph()
+    queries = [SinglePairQuery(s, t) for s, t in
+               [(1, 2), (3, 4), (5, 6), (7, 8), (9, 10), (11, 12)]]
+
+    async def scenario():
+        pool = WorkerPool(_pool_factory(graph), num_workers=2, batch_size=2,
+                          shared_graph=graph, shared_decays=(0.6,))
+        await pool.start()
+        try:
+            segment = pool.segment
+            assert segment is not None and segment.exists()
+            first = await asyncio.gather(*[pool.submit(q)
+                                           for q in queries[:3]])
+            os.kill(pool.pids()[0], signal.SIGKILL)
+            # Wait for the supervisor to *register* the death, not just for
+            # a full roster — a killed pid can linger as a zombie that
+            # alive_count still sees before the heartbeat loop reaps it.
+            assert await _wait_for(lambda: pool.stats()["deaths"] >= 1)
+            assert await _wait_for(
+                lambda: pool.alive_count() == pool.num_workers)
+            assert segment.exists()                  # kill did not unlink
+            second = await asyncio.gather(*[pool.submit(q)
+                                            for q in queries[3:]])
+            stats = pool.stats()
+            assert stats["shared_segment_bytes"] == segment.nbytes
+        finally:
+            await pool.drain()
+        return segment, first + second, stats
+
+    segment, payloads, stats = asyncio.run(scenario())
+    assert not segment.exists()                      # drain unlinked exactly once
+    assert all("error" not in p for p in payloads)
+    assert stats["deaths"] >= 1
+
+
+def test_respawned_worker_prewarms_hot_sources():
+    """Cold-respawn affinity: the replacement worker re-answers its slot's
+    recent sources before rejoining the rotation."""
+    import signal
+
+    from repro.service.workers import WorkerPool
+    from repro.service.queries import SingleSourceQuery
+
+    graph = _segment_graph()
+    queries = [SingleSourceQuery(source=s) for s in (1, 2, 3, 4, 5)]
+
+    async def scenario():
+        pool = WorkerPool(_pool_factory(graph), num_workers=1, batch_size=2)
+        await pool.start()
+        try:
+            await asyncio.gather(*[pool.submit(q) for q in queries])
+            os.kill(pool.pids()[0], signal.SIGKILL)
+            assert await _wait_for(
+                lambda: pool.alive_count() == pool.num_workers)
+            assert await _wait_for(
+                lambda: pool.stats()["prewarmed_sources"] > 0)
+            # The prewarmed worker still answers correctly afterwards.
+            payload = await pool.submit(queries[0])
+            assert "error" not in payload
+            return pool.stats()
+        finally:
+            await pool.drain()
+
+    stats = asyncio.run(scenario())
+    assert stats["prewarms"] >= 1
+    assert stats["prewarmed_sources"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# WAL compaction + checkpoint recovery
+# --------------------------------------------------------------------------- #
+def _ckpt_graph():
+    rng = np.random.default_rng(11)
+    edges = rng.integers(0, 120, size=(500, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return DiGraph.from_edges(edges, 120, name="ckpt-graph")
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    graph = _ckpt_graph()
+    checkpoint = GraphCheckpoint(tmp_path / "g.checkpoint.npz")
+    checkpoint.save(graph, 5)
+    loaded, version = checkpoint.load()
+    assert version == 5
+    assert np.array_equal(loaded.fingerprint(), graph.fingerprint())
+
+
+def test_checkpoint_missing_is_none(tmp_path):
+    assert GraphCheckpoint(tmp_path / "absent.npz").load() is None
+
+
+def test_checkpoint_corruption_fails_loudly(tmp_path):
+    graph = _ckpt_graph()
+    checkpoint = GraphCheckpoint(tmp_path / "g.checkpoint.npz")
+    checkpoint.save(graph, 1)
+    blob = bytearray(checkpoint.path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    checkpoint.path.write_bytes(bytes(blob))
+    with pytest.raises(WalCorruptionError):
+        checkpoint.load()
+
+
+def test_recover_after_compaction(tmp_path):
+    """The satellite's core scenario: compact, restart, replay the tail."""
+    wal = UpdateLog(tmp_path / "updates.wal")
+    context = GraphContext(_ckpt_graph())
+    for k in range(3):
+        context.apply_updates(EdgeBatch.from_wire(
+            {"type": "update", "insert": [[k, 100 + k]], "delete": []}),
+            wal=wal)
+    GraphCheckpoint.for_wal(wal).save(context.graph_at(2), 2)
+    assert wal.compact(2) == 1                      # only version 3 survives
+
+    restarted = GraphContext(_ckpt_graph())
+    assert restarted.recover(wal) == 1
+    assert restarted.graph_version == 3
+    assert np.array_equal(restarted.graph.fingerprint(),
+                          context.graph.fingerprint())
+
+
+def test_recover_checkpoint_only(tmp_path):
+    """A fully compacted WAL (empty tail) still restores the checkpoint."""
+    wal = UpdateLog(tmp_path / "updates.wal")
+    context = GraphContext(_ckpt_graph())
+    for k in range(2):
+        context.apply_updates(EdgeBatch.from_wire(
+            {"type": "update", "insert": [[k, 50 + k]], "delete": []}),
+            wal=wal)
+    GraphCheckpoint.for_wal(wal).save(context.graph, 2)
+    assert wal.compact(2) == 0
+
+    restarted = GraphContext(_ckpt_graph())
+    assert restarted.recover(wal) == 0
+    assert restarted.graph_version == 2
+    assert np.array_equal(restarted.graph.fingerprint(),
+                          context.graph.fingerprint())
+
+
+def test_recover_rejects_foreign_checkpoint(tmp_path):
+    wal = UpdateLog(tmp_path / "updates.wal")
+    other = DiGraph.from_edges([(0, 1), (1, 2)], 3, name="other")
+    GraphCheckpoint.for_wal(wal).save(other, 4)
+    with pytest.raises(WalCorruptionError):
+        GraphContext(_ckpt_graph()).recover(wal)
+
+
+def test_planner_compacts_after_swap(tmp_path):
+    """The serving loop truncates the WAL once indices + checkpoint land."""
+    from repro.service.planner import QueryPlanner
+    from repro.service.queries import SingleSourceQuery
+
+    wal = UpdateLog(tmp_path / "updates.wal")
+    index_dir = tmp_path / "indices"
+    config = {"prsim": {"seed": 11, "epsilon": 0.1}}
+
+    graph = _ckpt_graph()
+    planner = QueryPlanner(graph, context=GraphContext(graph),
+                           default_method="prsim",
+                           method_configs=config, index_dir=index_dir,
+                           save_indices=True, wal=wal)
+    first = planner.answer([SingleSourceQuery(source=3)])[0]
+    planner.apply_updates(EdgeBatch.from_wire(
+        {"type": "update", "insert": [[1, 100]], "delete": []}))
+    report = planner.complete_repairs()
+    assert report["wal"]["compacted_to"] == 1
+    assert report["wal"]["indices_persisted"] >= 1
+    assert wal.replay() == []                       # prefix gone
+    assert GraphCheckpoint.for_wal(wal).exists()
+    answer = planner.answer([SingleSourceQuery(source=3)])[0]
+
+    # Restart: a *private* fresh context (a real process restart would not
+    # share the old one), so recovery must come from the checkpoint; the
+    # persisted index then loads against the recovered graph and the
+    # answers match bit-for-bit.
+    fresh = _ckpt_graph()
+    restarted = QueryPlanner(fresh, context=GraphContext(fresh),
+                             default_method="prsim",
+                             method_configs=config, index_dir=index_dir,
+                             save_indices=True, wal=wal)
+    assert restarted.graph_version == 1
+    again = restarted.answer([SingleSourceQuery(source=3)])[0]
+    assert np.array_equal(answer.result.scores, again.result.scores)
+    assert restarted.stats()["index_loads"] >= 1
